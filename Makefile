@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race short bench sweep examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Regenerate every paper experiment (EXPERIMENTS.md records one such run).
+sweep:
+	$(GO) run ./cmd/sweep
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/overlap
+	$(GO) run ./examples/halo -n 3 -rows 64 -cols 64 -iters 20
+	$(GO) run ./examples/onesided -n 4 -bins 16 -samples 2000
+	$(GO) run ./examples/fileio
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,420 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for recorded results):
+//
+//	E1/E2  BenchmarkFigure6*          wait time vs work interval
+//	E3     BenchmarkPingPong*         zero-length / sized latency
+//	E4     BenchmarkWire*             Tables 1–4 wire handling cost
+//	E5     BenchmarkMemScale          unexpected-memory scaling
+//	E6     BenchmarkTranslate*        Figure 3/4 match-list walk cost
+//	E7     BenchmarkCollectives*      direct-vs-over-MPI collectives
+//	E8     BenchmarkBandwidth*        throughput vs message size
+//
+// Custom metrics carry the experiment's quantity (wait-µs, MB/s, bytes)
+// alongside the usual ns/op.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/rtscts"
+	"repro/internal/stats"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+	"repro/portals"
+)
+
+// ---------------------------------------------------------------- E1/E2 --
+
+func benchFigure6(b *testing.B, stack experiments.Stack, work time.Duration, testCalls int) {
+	cfg := experiments.DefaultBypassConfig()
+	cfg.Iters = 1
+	cfg.TestCalls = testCalls
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBypass(stack, work, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.WaitTime
+	}
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N), "wait-µs")
+}
+
+func BenchmarkFigure6Portals(b *testing.B) {
+	for _, work := range []time.Duration{0, 4 * time.Millisecond, 8 * time.Millisecond} {
+		b.Run(fmt.Sprintf("work=%v", work), func(b *testing.B) {
+			benchFigure6(b, experiments.StackPortals, work, 0)
+		})
+	}
+}
+
+func BenchmarkFigure6GM(b *testing.B) {
+	for _, work := range []time.Duration{0, 4 * time.Millisecond, 8 * time.Millisecond} {
+		b.Run(fmt.Sprintf("work=%v", work), func(b *testing.B) {
+			benchFigure6(b, experiments.StackGM, work, 0)
+		})
+	}
+}
+
+func BenchmarkFigure6TestCallsGM(b *testing.B) {
+	// The §5.3 variant: 3 test calls during an 8 ms work interval.
+	benchFigure6(b, experiments.StackGM, 8*time.Millisecond, 3)
+}
+
+// ------------------------------------------------------------------- E3 --
+
+func benchPingPong(b *testing.B, fab portals.Fabric, size int) {
+	iters := b.N
+	if iters < 10 {
+		iters = 10
+	}
+	lat, err := experiments.PingPong(fab, experiments.PingPongConfig{Size: size, Iters: iters})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(lat.Nanoseconds()), "latency-ns")
+}
+
+func BenchmarkPingPong0B(b *testing.B)         { benchPingPong(b, portals.Myrinet(), 0) }
+func BenchmarkPingPong1KB(b *testing.B)        { benchPingPong(b, portals.Myrinet(), 1024) }
+func BenchmarkPingPong0BLoopback(b *testing.B) { benchPingPong(b, portals.Loopback(), 0) }
+
+// ------------------------------------------------------------------- E4 --
+
+func BenchmarkWireEncodePut(b *testing.B) {
+	h := wire.NewPut(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4},
+		1, 0, 0xF00D, 0, types.Handle{Kind: types.KindMD, Index: 1, Gen: 1}, 50*1024, types.AckReq)
+	buf := make([]byte, wire.HeaderSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Encode(buf)
+	}
+}
+
+func BenchmarkWireDecodePut(b *testing.B) {
+	h := wire.NewPut(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4},
+		1, 0, 0xF00D, 0, types.Handle{Kind: types.KindMD, Index: 1, Gen: 1}, 50*1024, types.AckReq)
+	buf := make([]byte, wire.HeaderSize)
+	h.Encode(buf)
+	var out wire.Header
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireAckReplyBuild(b *testing.B) {
+	put := wire.NewPut(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4},
+		1, 0, 0xF00D, 0, types.Handle{Kind: types.KindMD, Index: 1, Gen: 1}, 1024, types.AckReq)
+	get := wire.NewGet(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4},
+		1, 0, 0xF00D, 0, types.Handle{Kind: types.KindMD, Index: 1, Gen: 1}, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wire.AckFor(&put, 1024)
+		_ = wire.ReplyFor(&get, 1024)
+	}
+}
+
+// ------------------------------------------------------------------- E6 --
+
+// benchTranslate measures the Figure 4 walk: a match list of the given
+// depth where the incoming put matches entry hitAt (0-based).
+func benchTranslate(b *testing.B, depth, hitAt int) {
+	st := core.NewState(types.ProcessID{NID: 1, PID: 1},
+		types.Limits{MaxMEs: depth + 8, MaxMDs: depth + 8}, nil, &stats.Counters{})
+	buf := make([]byte, 64)
+	for i := 0; i < depth; i++ {
+		me, err := st.MEAttach(0, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+			types.MatchBits(i), 0, types.Retain, types.After)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.MDAttach(me, core.MD{
+			Start: buf, Threshold: types.ThresholdInfinite,
+			Options: types.MDOpPut | types.MDManageRemote,
+		}, types.Retain); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := wire.NewPut(types.ProcessID{NID: 2, PID: 1}, types.ProcessID{NID: 1, PID: 1},
+		0, 0, types.MatchBits(hitAt), 0, types.Handle{Kind: types.KindMD, Index: 0, Gen: 0}, 8, types.NoAckReq)
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.HandleIncoming(&h, payload)
+	}
+	if st.Counters().Dropped() != 0 {
+		b.Fatalf("drops during translate bench: %v", st.Counters().Snapshot())
+	}
+}
+
+func BenchmarkTranslateDepth(b *testing.B) {
+	for _, depth := range []int{1, 16, 128, 1024} {
+		b.Run(fmt.Sprintf("depth=%d/hit=first", depth), func(b *testing.B) {
+			benchTranslate(b, depth, 0)
+		})
+		b.Run(fmt.Sprintf("depth=%d/hit=last", depth), func(b *testing.B) {
+			benchTranslate(b, depth, depth-1)
+		})
+	}
+}
+
+// ------------------------------------------------------------------- E8 --
+
+func BenchmarkBandwidth(b *testing.B) {
+	for _, size := range []int{4 << 10, 32 << 10, 128 << 10, 512 << 10} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			count := b.N
+			if count < 8 {
+				count = 8
+			}
+			pt, err := experiments.Bandwidth(portals.Myrinet(), size, count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(size))
+			b.ReportMetric(pt.MBps, "MB/s")
+		})
+	}
+}
+
+// ------------------------------------------------------------------- E5 --
+
+func BenchmarkMemScale(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var p experiments.MemScalePoint
+			for i := 0; i < b.N; i++ {
+				m := portals.NewMachine(portals.Loopback())
+				var err error
+				p, err = experiments.MemScale(m, n, mpi.Config{}, 16, 32*1024)
+				m.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.PortalsBytes), "portals-bytes")
+			b.ReportMetric(float64(p.VIABytes), "via-bytes")
+		})
+	}
+}
+
+// ------------------------------------------------------------------- E7 --
+
+func BenchmarkCollectives(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			iters := b.N
+			if iters < 5 {
+				iters = 5
+			}
+			pts, err := experiments.CollAblation(portals.Loopback(), n, iters, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range pts {
+				b.ReportMetric(float64(p.DirectPerOp.Microseconds()), p.Op+"-direct-µs")
+				b.ReportMetric(float64(p.OverMPIPerOp.Microseconds()), p.Op+"-overmpi-µs")
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------- supporting micro --
+
+// BenchmarkMPIPingPong measures the full MPI stack round trip on the
+// loopback fabric (protocol cost without wire time), eager and long.
+func BenchmarkMPIPingPong(b *testing.B) {
+	for _, size := range []int{64, 100 * 1024} {
+		name := "eager"
+		if size > 32*1024 {
+			name = "long"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := portals.NewMachine(portals.Loopback())
+			defer m.Close()
+			w, err := mpi.NewWorld(m, 2, mpi.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(c *mpi.Comm) error {
+				buf := make([]byte, size)
+				peer := 1 - c.Rank()
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						if err := c.Send(buf, peer, 1); err != nil {
+							return err
+						}
+						if _, err := c.Recv(buf, peer, 2); err != nil {
+							return err
+						}
+					} else {
+						if _, err := c.Recv(buf, peer, 1); err != nil {
+							return err
+						}
+						if err := c.Send(buf, peer, 2); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkPutDelivery measures the core engine's end-to-end put path on
+// loopback: initiate, deliver, event.
+func BenchmarkPutDelivery(b *testing.B) {
+	m := portals.NewMachine(portals.Loopback())
+	defer m.Close()
+	rx, err := m.NIInit(1, 1, portals.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := m.NIInit(2, 1, portals.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq, err := rx.EQAlloc(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	me, err := rx.MEAttach(0, portals.AnyProcess, 1, 0, portals.Retain, portals.After)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := make([]byte, 4096)
+	if _, err := rx.MDAttach(me, portals.MD{
+		Start: sink, Threshold: portals.ThresholdInfinite,
+		Options: portals.MDOpPut | portals.MDManageRemote, EQ: eq,
+	}, portals.Retain); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	md, err := tx.MDBind(portals.MD{Start: payload, Threshold: portals.ThresholdInfinite}, portals.Retain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Put(md, portals.NoAckReq, rx.ID(), 0, 0, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rx.EQPoll(eq, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------------ E12 --
+
+func BenchmarkReceiveOverhead(b *testing.B) {
+	for _, row := range []struct {
+		name  string
+		model portals.NICModel
+		cost  time.Duration
+	}{
+		{"nic-offload", portals.NICOffload, 0},
+		{"interrupt", portals.HostInterrupt, 20 * time.Microsecond},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			cfg := experiments.OverheadConfig{ComputeIters: 4000, MsgSize: 1024, MsgGap: 50 * time.Microsecond}
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.ReceiveOverhead(row.model, row.cost, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slow += r.SlowdownPct
+			}
+			b.ReportMetric(slow/float64(b.N), "slowdown-%")
+		})
+	}
+}
+
+// ------------------------------------------------------------------ E13 --
+
+// BenchmarkIOVecScatter compares delivery into a contiguous descriptor
+// with delivery scattered across 8 segments (the §7 extension).
+func BenchmarkIOVecScatter(b *testing.B) {
+	run := func(b *testing.B, md portals.MD) {
+		st := core.NewState(types.ProcessID{NID: 1, PID: 1}, types.Limits{}, nil, &stats.Counters{})
+		me, err := st.MEAttach(0, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+			1, 0, types.Retain, types.After)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmd := core.MD{Start: md.Start, Segments: md.Segments,
+			Threshold: types.ThresholdInfinite, Options: types.MDOpPut | types.MDManageRemote}
+		if _, err := st.MDAttach(me, cmd, types.Retain); err != nil {
+			b.Fatal(err)
+		}
+		h := wire.NewPut(types.ProcessID{NID: 2, PID: 1}, types.ProcessID{NID: 1, PID: 1},
+			0, 0, 1, 0, types.Handle{Kind: types.KindMD, Index: 0, Gen: 0}, 4096, types.NoAckReq)
+		payload := make([]byte, 4096)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.HandleIncoming(&h, payload)
+		}
+	}
+	b.Run("contiguous", func(b *testing.B) {
+		run(b, portals.MD{Start: make([]byte, 4096)})
+	})
+	b.Run("segments=8", func(b *testing.B) {
+		segs := make([][]byte, 8)
+		for i := range segs {
+			segs[i] = make([]byte, 512)
+		}
+		run(b, portals.MD{Segments: segs})
+	})
+}
+
+// ----------------------------------------------- eager/rendezvous knob --
+
+// BenchmarkEagerThreshold is the transport-level ablation DESIGN.md calls
+// out: the same 64 KB message stream with the rendezvous threshold below
+// (RTS/CTS round trip per message) and above (pure eager) the message
+// size. The gap is the cost of receiver-managed flow control.
+func BenchmarkEagerThreshold(b *testing.B) {
+	const msgSize = 64 << 10
+	for _, cfg := range []struct {
+		name  string
+		eager int
+	}{
+		{"rendezvous", 8 << 10},
+		{"eager", 128 << 10},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			fab := portals.SimFabric(simnet.Myrinet(), rtscts.Config{EagerMax: cfg.eager})
+			count := b.N
+			if count < 8 {
+				count = 8
+			}
+			pt, err := experiments.Bandwidth(fab, msgSize, count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(msgSize)
+			b.ReportMetric(pt.MBps, "MB/s")
+		})
+	}
+}

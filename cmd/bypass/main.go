@@ -1,0 +1,60 @@
+// Command bypass regenerates Figure 6 of the paper: the duration of
+// waiting for messages as a function of the work interval, for
+// MPICH/Portals (application bypass) versus MPICH/GM (library-driven
+// progress), 10 × 50 KB messages per batch.
+//
+// Usage:
+//
+//	bypass [-batch 10] [-size 51200] [-iters 5] [-testcalls 0] [-max 80ms] [-points 9]
+//
+// With -testcalls 3 it regenerates the §5.3 "related testing" variant in
+// which sprinkled MPI test calls let MPICH/GM catch up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	batch := flag.Int("batch", 10, "messages per batch")
+	size := flag.Int("size", 50*1024, "message size in bytes")
+	iters := flag.Int("iters", 5, "repetitions to average over")
+	testCalls := flag.Int("testcalls", 0, "MPI test calls sprinkled through the work interval")
+	maxWork := flag.Duration("max", 12*time.Millisecond, "largest work interval")
+	points := flag.Int("points", 9, "number of work-interval points")
+	flag.Parse()
+
+	cfg := experiments.DefaultBypassConfig()
+	cfg.Batch = *batch
+	cfg.MsgSize = *size
+	cfg.Iters = *iters
+	cfg.TestCalls = *testCalls
+
+	works := make([]time.Duration, *points)
+	for i := range works {
+		works[i] = *maxWork * time.Duration(i) / time.Duration(*points-1)
+	}
+
+	fmt.Printf("# Figure 6 reproduction: wait time vs work interval\n")
+	fmt.Printf("# batch=%d size=%dB iters=%d testcalls=%d fabric=myrinet-sim\n",
+		cfg.Batch, cfg.MsgSize, cfg.Iters, cfg.TestCalls)
+	fmt.Printf("%-14s %-18s %-18s\n", "work", "wait(MPI/GM)", "wait(MPI/Portals)")
+	for _, w := range works {
+		gm, err := experiments.RunBypass(experiments.StackGM, w, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gm:", err)
+			os.Exit(1)
+		}
+		pt, err := experiments.RunBypass(experiments.StackPortals, w, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "portals:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14v %-18v %-18v\n", w, gm.WaitTime.Round(time.Microsecond), pt.WaitTime.Round(time.Microsecond))
+	}
+}

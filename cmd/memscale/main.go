@@ -1,0 +1,41 @@
+// Command memscale regenerates the §4.1 memory-scaling argument (E5):
+// unexpected-message memory under the Portals model (sized by application
+// policy) versus a VIA-style per-connection model (grows linearly with
+// the number of peers).
+//
+// Usage:
+//
+//	memscale [-credits 16] [-bufsize 32768] [-maxpeers 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/portals"
+)
+
+func main() {
+	credits := flag.Int("credits", 16, "pre-posted receive buffers per VIA connection")
+	bufSize := flag.Int("bufsize", 32*1024, "VIA eager buffer size in bytes")
+	maxPeers := flag.Int("maxpeers", 256, "largest peer count to measure")
+	flag.Parse()
+
+	fmt.Printf("# Unexpected-message memory vs peers (E5, §4.1)\n")
+	fmt.Printf("# VIA model: %d credits × %d B per connection; Portals: application-sized pool\n",
+		*credits, *bufSize)
+	fmt.Printf("%-8s %-16s %-16s\n", "peers", "portals(bytes)", "via(bytes)")
+	for n := 2; n-1 <= *maxPeers; n *= 2 {
+		m := portals.NewMachine(portals.Loopback())
+		p, err := experiments.MemScale(m, n, mpi.Config{}, *credits, *bufSize)
+		m.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8d %-16d %-16d\n", p.Peers, p.PortalsBytes, p.VIABytes)
+	}
+}

@@ -1,0 +1,208 @@
+// Command mpibench runs OSU-style MPI micro-benchmarks (latency,
+// bandwidth, message rate) over any fabric — the numbers an MPI user
+// would quote for this stack.
+//
+//	mpibench [-fabric myrinet|gige|loopback|tcp] [-bench latency|bw|rate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/portals"
+)
+
+func main() {
+	fabricName := flag.String("fabric", "myrinet", "fabric: myrinet, gige, loopback, tcp")
+	bench := flag.String("bench", "latency", "benchmark: latency, bw, rate")
+	iters := flag.Int("iters", 200, "iterations per size")
+	window := flag.Int("window", 32, "in-flight messages for bw/rate")
+	flag.Parse()
+
+	var fab portals.Fabric
+	switch *fabricName {
+	case "myrinet":
+		fab = portals.Myrinet()
+	case "gige":
+		fab = portals.GigE()
+	case "loopback":
+		fab = portals.Loopback()
+	case "tcp":
+		fab = portals.TCP()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabricName)
+		os.Exit(2)
+	}
+
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	w, err := mpi.NewWorld(m, 2, mpi.Config{})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *bench {
+	case "latency":
+		fmt.Printf("# MPI ping-pong latency over %s (half RTT)\n%-10s %-14s\n", *fabricName, "size", "latency")
+		for _, size := range []int{0, 8, 64, 1024, 8192, 65536} {
+			lat, err := latency(w, size, *iters)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10d %-14v\n", size, lat.Round(100*time.Nanosecond))
+		}
+	case "bw":
+		fmt.Printf("# MPI streaming bandwidth over %s (window %d)\n%-10s %-12s\n", *fabricName, *window, "size", "MB/s")
+		for _, size := range []int{1024, 8192, 65536, 262144} {
+			mbps, err := bandwidth(w, size, *iters, *window)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10d %-12.1f\n", size, mbps)
+		}
+	case "rate":
+		rate, err := messageRate(w, *iters*10, *window)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# MPI message rate over %s: %.0f msgs/s (0-byte, window %d)\n", *fabricName, rate, *window)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown bench %q\n", *bench)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpibench:", err)
+	os.Exit(1)
+}
+
+func latency(w *mpi.World, size, iters int) (time.Duration, error) {
+	res := make(chan time.Duration, 1)
+	err := w.Run(func(c *mpi.Comm) error {
+		buf := make([]byte, size)
+		peer := 1 - c.Rank()
+		// Warm-up.
+		if err := pingpong(c, buf, peer, 2); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := pingpong(c, buf, peer, iters); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res <- time.Since(start) / time.Duration(2*iters)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return <-res, nil
+}
+
+func pingpong(c *mpi.Comm, buf []byte, peer, iters int) error {
+	for i := 0; i < iters; i++ {
+		if c.Rank() == 0 {
+			if err := c.Send(buf, peer, 1); err != nil {
+				return err
+			}
+			if _, err := c.Recv(buf, peer, 2); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(buf, peer, 1); err != nil {
+				return err
+			}
+			if err := c.Send(buf, peer, 2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func bandwidth(w *mpi.World, size, iters, window int) (float64, error) {
+	res := make(chan float64, 1)
+	err := w.Run(func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+		if c.Rank() == 0 {
+			payload := make([]byte, size)
+			start := time.Now()
+			for it := 0; it < iters; it += window {
+				reqs := make([]*mpi.Request, 0, window)
+				for k := 0; k < window && it+k < iters; k++ {
+					r, err := c.Isend(payload, peer, 1)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, r)
+				}
+				if err := mpi.WaitAll(reqs...); err != nil {
+					return err
+				}
+			}
+			// Drain marker: wait for the receiver's done token so the
+			// measurement covers delivery, not just local completion.
+			token := make([]byte, 1)
+			if _, err := c.Recv(token, peer, 9); err != nil {
+				return err
+			}
+			res <- float64(size) * float64(iters) / time.Since(start).Seconds() / 1e6
+			return nil
+		}
+		buf := make([]byte, size)
+		for it := 0; it < iters; it++ {
+			if _, err := c.Recv(buf, peer, 1); err != nil {
+				return err
+			}
+		}
+		return c.Send([]byte{1}, peer, 9)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return <-res, nil
+}
+
+func messageRate(w *mpi.World, count, window int) (float64, error) {
+	res := make(chan float64, 1)
+	err := w.Run(func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+		if c.Rank() == 0 {
+			start := time.Now()
+			for it := 0; it < count; it += window {
+				reqs := make([]*mpi.Request, 0, window)
+				for k := 0; k < window && it+k < count; k++ {
+					r, err := c.Isend(nil, peer, 1)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, r)
+				}
+				if err := mpi.WaitAll(reqs...); err != nil {
+					return err
+				}
+			}
+			token := make([]byte, 1)
+			if _, err := c.Recv(token, peer, 9); err != nil {
+				return err
+			}
+			res <- float64(count) / time.Since(start).Seconds()
+			return nil
+		}
+		for it := 0; it < count; it++ {
+			if _, err := c.Recv(nil, peer, 1); err != nil {
+				return err
+			}
+		}
+		return c.Send([]byte{1}, peer, 9)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return <-res, nil
+}

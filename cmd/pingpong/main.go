@@ -1,0 +1,73 @@
+// Command pingpong measures point-to-point latency and bandwidth over a
+// chosen fabric — the §3 "<20 µsec zero-length ping-pong" experiment
+// (E3) and the bandwidth/pipelining curve (E8).
+//
+// Usage:
+//
+//	pingpong [-fabric myrinet|gige|loopback|tcp] [-iters 200]         # latency
+//	pingpong -bw [-fabric ...] [-count 64]                            # bandwidth sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/portals"
+)
+
+func fabricByName(name string) (portals.Fabric, bool) {
+	switch name {
+	case "myrinet":
+		return portals.Myrinet(), true
+	case "gige":
+		return portals.GigE(), true
+	case "loopback":
+		return portals.Loopback(), true
+	case "tcp":
+		return portals.TCP(), true
+	default:
+		return portals.Fabric{}, false
+	}
+}
+
+func main() {
+	fabricName := flag.String("fabric", "myrinet", "fabric: myrinet, gige, loopback, tcp")
+	iters := flag.Int("iters", 200, "round trips per latency measurement")
+	bw := flag.Bool("bw", false, "run the bandwidth sweep instead of latency")
+	count := flag.Int("count", 64, "messages per bandwidth point")
+	flag.Parse()
+
+	fab, ok := fabricByName(*fabricName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabricName)
+		os.Exit(2)
+	}
+
+	if *bw {
+		fmt.Printf("# Bandwidth vs message size over %s (E8)\n", *fabricName)
+		fmt.Printf("%-10s %-12s %-12s\n", "size", "MB/s", "elapsed")
+		for _, size := range []int{1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20} {
+			pt, err := experiments.Bandwidth(fab, size, *count)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10d %-12.1f %-12v\n", pt.Size, pt.MBps, pt.Elapsed.Round(time.Microsecond))
+		}
+		return
+	}
+
+	fmt.Printf("# Ping-pong latency over %s (E3; paper: <20µs on the Myrinet MCP)\n", *fabricName)
+	fmt.Printf("%-10s %-14s\n", "size", "half-RTT")
+	for _, size := range []int{0, 8, 64, 1024, 8192, 65536} {
+		lat, err := experiments.PingPong(fab, experiments.PingPongConfig{Size: size, Iters: *iters})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10d %-14v\n", size, lat.Round(100*time.Nanosecond))
+	}
+}

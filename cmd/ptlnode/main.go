@@ -1,0 +1,177 @@
+// Command ptlnode runs one Portals node in its own OS process over the
+// TCP reference transport — the genuinely distributed deployment of the
+// §3 reference implementation. Start a responder, then a pinger:
+//
+//	ptlnode -nid 1 -listen 127.0.0.1:9701 -peer 2=127.0.0.1:9702 -mode pong &
+//	ptlnode -nid 2 -listen 127.0.0.1:9702 -peer 1=127.0.0.1:9701 \
+//	        -mode ping -target 1 -count 200 -size 1024
+//
+// The pinger reports round-trip latency through real kernel sockets; the
+// responder echoes entirely at the Portals level (armed match entry +
+// event loop).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/portals"
+)
+
+const (
+	pingPtl  portals.PtlIndex  = 0
+	pingBits portals.MatchBits = 0x9199
+)
+
+func main() {
+	nid := flag.Uint("nid", 1, "this node's NID")
+	pid := flag.Uint("pid", 1, "this process's PID")
+	listen := flag.String("listen", "127.0.0.1:9701", "listen address")
+	peerSpecs := flag.String("peer", "", "comma-separated peers: nid=host:port[,nid=host:port...]")
+	mode := flag.String("mode", "pong", "pong (echo forever) or ping")
+	target := flag.Uint("target", 0, "ping target NID")
+	count := flag.Int("count", 100, "ping round trips")
+	size := flag.Int("size", 0, "ping payload bytes")
+	flag.Parse()
+
+	peers := map[portals.NID]string{}
+	if *peerSpecs != "" {
+		for _, spec := range strings.Split(*peerSpecs, ",") {
+			k, v, ok := strings.Cut(spec, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bad -peer entry %q\n", spec)
+				os.Exit(2)
+			}
+			n, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad peer nid %q: %v\n", k, err)
+				os.Exit(2)
+			}
+			peers[portals.NID(n)] = v
+		}
+	}
+
+	m := portals.NewMachine(portals.TCPStatic(portals.NID(*nid), *listen, peers))
+	defer m.Close()
+	ni, err := m.NIInit(portals.NID(*nid), portals.PID(*pid), portals.Limits{})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "pong":
+		if err := pong(ni); err != nil {
+			fatal(err)
+		}
+	case "ping":
+		if *target == 0 {
+			fatal(errors.New("ping mode needs -target"))
+		}
+		if err := ping(ni, portals.ProcessID{NID: portals.NID(*target), PID: portals.PID(*pid)}, *count, *size); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptlnode:", err)
+	os.Exit(1)
+}
+
+// arm sets up the echo buffer and event queue.
+func arm(ni *portals.NI, size int) (portals.Handle, []byte, error) {
+	eq, err := ni.EQAlloc(256)
+	if err != nil {
+		return portals.InvalidHandle, nil, err
+	}
+	me, err := ni.MEAttach(pingPtl, portals.AnyProcess, pingBits, 0, portals.Retain, portals.After)
+	if err != nil {
+		return portals.InvalidHandle, nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := ni.MDAttach(me, portals.MD{
+		Start:     buf,
+		Threshold: portals.ThresholdInfinite,
+		Options:   portals.MDOpPut | portals.MDManageRemote | portals.MDTruncate,
+		EQ:        eq,
+	}, portals.Retain); err != nil {
+		return portals.InvalidHandle, nil, err
+	}
+	return eq, buf, nil
+}
+
+func send(ni *portals.NI, to portals.ProcessID, buf []byte) error {
+	md, err := ni.MDBind(portals.MD{Start: buf, Threshold: 1}, portals.Unlink)
+	if err != nil {
+		return err
+	}
+	return ni.Put(md, portals.NoAckReq, to, pingPtl, 0, pingBits, 0)
+}
+
+func pong(ni *portals.NI) error {
+	eq, buf, err := arm(ni, 1<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ptlnode %v: echoing on %v (ctrl-c to stop)\n", ni.ID(), pingBits)
+	for {
+		ev, err := ni.EQPoll(eq, time.Hour)
+		if err != nil {
+			if errors.Is(err, portals.ErrEQEmpty) {
+				continue
+			}
+			return err
+		}
+		if ev.Type != portals.EventPut {
+			continue
+		}
+		if err := send(ni, ev.Initiator, buf[:ev.MLength]); err != nil {
+			return err
+		}
+	}
+}
+
+func ping(ni *portals.NI, target portals.ProcessID, count, size int) error {
+	eq, _, err := arm(ni, 1<<20)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, size)
+	// One warm-up round trip establishes the TCP connections.
+	if err := roundTrip(ni, eq, target, payload); err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		if err := roundTrip(ni, eq, target, payload); err != nil {
+			return fmt.Errorf("round %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d round trips of %d bytes to %v: avg RTT %v (half %v)\n",
+		count, size, target, (elapsed / time.Duration(count)).Round(100*time.Nanosecond),
+		(elapsed / time.Duration(2*count)).Round(100*time.Nanosecond))
+	return nil
+}
+
+func roundTrip(ni *portals.NI, eq portals.Handle, target portals.ProcessID, payload []byte) error {
+	if err := send(ni, target, payload); err != nil {
+		return err
+	}
+	for {
+		ev, err := ni.EQPoll(eq, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("echo timeout: %w", err)
+		}
+		if ev.Type == portals.EventPut {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package acl implements the Portals access-control list of §4.5.
+//
+// "Each entry in the access control list specifies a process id and a
+// Portal table index. ... Each incoming request includes an index into the
+// access control list (i.e., a 'cookie' or hint). If the id of the process
+// issuing the request doesn't match the id specified in the access control
+// list entry or the Portal table index specified in the request doesn't
+// match the Portal table index specified in the access control list entry,
+// the request is rejected."
+package acl
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Entry is one access-control slot. Both the process id and the portal
+// index may hold wildcard values (§4.5: "process identifiers and Portal
+// table indexes may include wildcard values").
+type Entry struct {
+	ID    types.ProcessID
+	Ptl   types.PtlIndex
+	Valid bool
+}
+
+// List is a process's access-control array. It is initialized per §4.5:
+// entry 0 enables access to all Portals for all processes in the same
+// parallel application, entry 1 enables access to all Portals for all
+// system processes, and the remaining entries disable all other access.
+type List struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// Well-known ACL indexes established at initialization.
+const (
+	// IndexApplication (0) admits every process of the same application.
+	IndexApplication types.ACIndex = 0
+	// IndexSystem (1) admits every system process.
+	IndexSystem types.ACIndex = 1
+)
+
+// New builds a list with the given number of entries (at least two).
+// appPattern describes "all processes in the same parallel application" and
+// sysPattern "all system processes"; the runtime supplies both.
+func New(size int, appPattern, sysPattern types.ProcessID) *List {
+	if size < 2 {
+		size = 2
+	}
+	l := &List{entries: make([]Entry, size)}
+	l.entries[IndexApplication] = Entry{ID: appPattern, Ptl: types.PtlIndexAny, Valid: true}
+	l.entries[IndexSystem] = Entry{ID: sysPattern, Ptl: types.PtlIndexAny, Valid: true}
+	return l
+}
+
+// Len returns the number of slots (valid or not).
+func (l *List) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Set installs an entry (the PtlACEntry call). Index 0 and 1 may be
+// overwritten; the spec reserves their initial contents but not the slots.
+func (l *List) Set(index types.ACIndex, id types.ProcessID, ptl types.PtlIndex) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(index) >= len(l.entries) {
+		return types.ErrInvalidArgument
+	}
+	l.entries[index] = Entry{ID: id, Ptl: ptl, Valid: true}
+	return nil
+}
+
+// Disable invalidates an entry, restoring the "deny" state.
+func (l *List) Disable(index types.ACIndex) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(index) >= len(l.entries) {
+		return types.ErrInvalidArgument
+	}
+	l.entries[index] = Entry{}
+	return nil
+}
+
+// Check applies the §4.5 test to an incoming put or get request and, on
+// rejection, reports which §4.8 drop reason to count:
+//
+//   - the cookie is not a valid access control entry → DropBadCookie
+//   - the entry does not match the requesting process → DropACProcess
+//   - the entry does not match the request's portal index → DropACPortal
+func (l *List) Check(cookie types.ACIndex, requester types.ProcessID, ptl types.PtlIndex) (bool, types.DropReason) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if int(cookie) >= len(l.entries) || !l.entries[cookie].Valid {
+		return false, types.DropBadCookie
+	}
+	e := l.entries[cookie]
+	if !e.ID.Accepts(requester) {
+		return false, types.DropACProcess
+	}
+	if e.Ptl != types.PtlIndexAny && e.Ptl != ptl {
+		return false, types.DropACPortal
+	}
+	return true, types.DropNone
+}

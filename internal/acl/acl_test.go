@@ -1,0 +1,121 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var (
+	appAll = types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	sysIDs = types.ProcessID{NID: types.NIDAny, PID: 0} // "system processes" run as pid 0
+)
+
+func TestDefaultEntries(t *testing.T) {
+	l := New(8, appAll, sysIDs)
+	// Entry 0: any process, any portal.
+	if ok, r := l.Check(IndexApplication, types.ProcessID{NID: 5, PID: 9}, 3); !ok {
+		t.Errorf("application entry rejected: %v", r)
+	}
+	// Entry 1: system processes only.
+	if ok, _ := l.Check(IndexSystem, types.ProcessID{NID: 7, PID: 0}, 1); !ok {
+		t.Error("system entry rejected a system process")
+	}
+	if ok, r := l.Check(IndexSystem, types.ProcessID{NID: 7, PID: 5}, 1); ok || r != types.DropACProcess {
+		t.Errorf("system entry admitted non-system process (r=%v)", r)
+	}
+	// Remaining entries: deny all (invalid cookie).
+	if ok, r := l.Check(2, types.ProcessID{NID: 1, PID: 1}, 0); ok || r != types.DropBadCookie {
+		t.Errorf("uninitialized entry did not deny with bad-cookie (r=%v)", r)
+	}
+}
+
+func TestOutOfRangeCookie(t *testing.T) {
+	l := New(4, appAll, sysIDs)
+	if ok, r := l.Check(99, types.ProcessID{NID: 1, PID: 1}, 0); ok || r != types.DropBadCookie {
+		t.Errorf("out-of-range cookie: ok=%v r=%v", ok, r)
+	}
+}
+
+func TestSetAndCheckExact(t *testing.T) {
+	l := New(8, appAll, sysIDs)
+	if err := l.Set(3, types.ProcessID{NID: 10, PID: 20}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l.Check(3, types.ProcessID{NID: 10, PID: 20}, 5); !ok {
+		t.Error("exact entry rejected matching request")
+	}
+	if ok, r := l.Check(3, types.ProcessID{NID: 10, PID: 21}, 5); ok || r != types.DropACProcess {
+		t.Errorf("pid mismatch: ok=%v r=%v", ok, r)
+	}
+	if ok, r := l.Check(3, types.ProcessID{NID: 10, PID: 20}, 6); ok || r != types.DropACPortal {
+		t.Errorf("portal mismatch: ok=%v r=%v", ok, r)
+	}
+}
+
+func TestWildcardEntry(t *testing.T) {
+	l := New(8, appAll, sysIDs)
+	if err := l.Set(2, types.ProcessID{NID: 4, PID: types.PIDAny}, types.PtlIndexAny); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l.Check(2, types.ProcessID{NID: 4, PID: 77}, 9); !ok {
+		t.Error("wildcard pid entry rejected")
+	}
+	if ok, _ := l.Check(2, types.ProcessID{NID: 5, PID: 77}, 9); ok {
+		t.Error("wildcard entry admitted wrong nid")
+	}
+}
+
+func TestSetOutOfRange(t *testing.T) {
+	l := New(4, appAll, sysIDs)
+	if err := l.Set(4, appAll, 0); !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("Set out of range = %v", err)
+	}
+	if err := l.Disable(4); !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("Disable out of range = %v", err)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	l := New(4, appAll, sysIDs)
+	if err := l.Set(2, appAll, types.PtlIndexAny); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l.Check(2, types.ProcessID{NID: 1, PID: 1}, 0); !ok {
+		t.Fatal("entry not active before disable")
+	}
+	if err := l.Disable(2); err != nil {
+		t.Fatal(err)
+	}
+	if ok, r := l.Check(2, types.ProcessID{NID: 1, PID: 1}, 0); ok || r != types.DropBadCookie {
+		t.Errorf("disabled entry still admits: ok=%v r=%v", ok, r)
+	}
+}
+
+func TestMinimumSize(t *testing.T) {
+	l := New(0, appAll, sysIDs)
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+// Property: an exact (non-wild) entry admits exactly its own id on its own
+// portal index, nothing else.
+func TestExactEntryProperty(t *testing.T) {
+	l := New(8, appAll, sysIDs)
+	f := func(nid, pid uint16, ptl uint8, qnid, qpid uint16, qptl uint8) bool {
+		id := types.ProcessID{NID: types.NID(nid), PID: types.PID(pid)}
+		if err := l.Set(5, id, types.PtlIndex(ptl)); err != nil {
+			return false
+		}
+		q := types.ProcessID{NID: types.NID(qnid), PID: types.PID(qpid)}
+		ok, _ := l.Check(5, q, types.PtlIndex(qptl))
+		want := q == id && types.PtlIndex(qptl) == types.PtlIndex(ptl)
+		return ok == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+var (
+	aliceID = types.ProcessID{NID: 1, PID: 10}
+	bobID   = types.ProcessID{NID: 2, PID: 20}
+)
+
+func newState(t *testing.T, id types.ProcessID) *State {
+	t.Helper()
+	return NewState(id, types.Limits{}, nil, nil)
+}
+
+// deliver routes a set of outbound messages into the destination state and
+// recursively delivers any responses (acks, replies), emulating a lossless
+// instant network between exactly two states.
+func deliver(t *testing.T, out []Outbound, states map[types.ProcessID]*State) {
+	t.Helper()
+	for len(out) > 0 {
+		next := out[0]
+		out = out[1:]
+		dst, ok := states[next.Dst]
+		if !ok {
+			t.Fatalf("no state for destination %v", next.Dst)
+		}
+		h, payload, err := wire.DecodeMessage(next.Msg)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, dst.HandleIncoming(&h, payload)...)
+	}
+}
+
+func pair(t *testing.T) (*State, *State, map[types.ProcessID]*State) {
+	t.Helper()
+	a, b := newState(t, aliceID), newState(t, bobID)
+	return a, b, map[types.ProcessID]*State{aliceID: a, bobID: b}
+}
+
+func TestMEAttachBadPortalIndex(t *testing.T) {
+	s := newState(t, aliceID)
+	_, err := s.MEAttach(types.PtlIndex(s.Limits().MaxPtlIndex)+1, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+		0, 0, types.Retain, types.After)
+	if !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("MEAttach out of range = %v", err)
+	}
+}
+
+func TestMEAttachOrdering(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	if _, err := s.MEAttach(0, any, 1, 0, types.Retain, types.After); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MEAttach(0, any, 2, 0, types.Retain, types.After); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MEAttach(0, any, 3, 0, types.Retain, types.Before); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.MatchListLen(0); n != 3 {
+		t.Fatalf("match list len = %d, want 3", n)
+	}
+	// Order should be 3, 1, 2. Verify via delivery: a put with bits=1
+	// must skip entry 3 and land in entry 1's MD.
+	want := []types.MatchBits{3, 1, 2}
+	s.mu.Lock()
+	for i, me := range s.table[0] {
+		if me.matchBits != want[i] {
+			t.Errorf("entry %d bits = %d, want %d", i, me.matchBits, want[i])
+		}
+	}
+	s.mu.Unlock()
+}
+
+func TestMEInsertPositions(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	mid, err := s.MEAttach(0, any, 10, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MEInsert(mid, any, 5, 0, types.Retain, types.Before); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MEInsert(mid, any, 15, 0, types.Retain, types.After); err != nil {
+		t.Fatal(err)
+	}
+	want := []types.MatchBits{5, 10, 15}
+	s.mu.Lock()
+	for i, me := range s.table[0] {
+		if me.matchBits != want[i] {
+			t.Errorf("entry %d bits = %d, want %d", i, me.matchBits, want[i])
+		}
+	}
+	s.mu.Unlock()
+}
+
+func TestMEInsertStaleBase(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	h, err := s.MEAttach(0, any, 0, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MEUnlink(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MEInsert(h, any, 0, 0, types.Retain, types.After); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("MEInsert on stale handle = %v", err)
+	}
+}
+
+func TestMEUnlinkReleasesMDs(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	me, err := s.MEAttach(0, any, 0, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := s.MDAttach(me, MD{Start: make([]byte, 16), Threshold: types.ThresholdInfinite, Options: types.MDOpPut}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MEUnlink(me); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MDUnlink(md); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("MD should be gone after MEUnlink: %v", err)
+	}
+	if s.MatchListLen(0) != 0 {
+		t.Error("match list not empty after MEUnlink")
+	}
+}
+
+func TestMDAttachValidation(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	me, err := s.MEAttach(0, any, 0, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad EQ handle.
+	bad := types.Handle{Kind: types.KindEQ, Index: 99, Gen: 0}
+	if _, err := s.MDAttach(me, MD{Start: make([]byte, 4), Threshold: 1, Options: types.MDOpPut, EQ: bad}, types.Retain); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("MDAttach with bad EQ = %v", err)
+	}
+	// Bad threshold.
+	if _, err := s.MDAttach(me, MD{Start: make([]byte, 4), Threshold: -5, Options: types.MDOpPut}, types.Retain); !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("MDAttach with bad threshold = %v", err)
+	}
+	// Stale ME.
+	if err := s.MEUnlink(me); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MDAttach(me, MD{Start: make([]byte, 4), Threshold: 1, Options: types.MDOpPut}, types.Retain); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("MDAttach to stale ME = %v", err)
+	}
+}
+
+func TestMDBindAndUnlink(t *testing.T) {
+	s := newState(t, aliceID)
+	md, err := s.MDBind(MD{Start: make([]byte, 8), Threshold: types.ThresholdInfinite}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MDUnlink(md); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MDUnlink(md); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("double MDUnlink = %v", err)
+	}
+}
+
+func TestMDUpdateRefusedWithPendingEvents(t *testing.T) {
+	a, b, states := pair(t)
+	eq, err := b.EQAlloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	me, err := b.MEAttach(0, any, 0, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	md, err := b.MDAttach(me, MD{Start: buf, Threshold: types.ThresholdInfinite, Options: types.MDOpPut, EQ: eq}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Land a put so the EQ has a pending event.
+	src, err := a.MDBind(MD{Start: []byte("hi"), Threshold: 1}, types.Unlink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.StartPut(src, types.NoAckReq, bobID, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, []Outbound{out}, states)
+
+	if err := b.MDUpdate(md, MD{Start: buf, Threshold: 1, Options: types.MDOpPut, EQ: eq}, eq); !errors.Is(err, types.ErrMDInUse) {
+		t.Errorf("MDUpdate with pending events = %v, want ErrMDInUse", err)
+	}
+	if _, err := b.EQGet(eq); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MDUpdate(md, MD{Start: buf, Threshold: 1, Options: types.MDOpPut, EQ: eq}, eq); err != nil {
+		t.Errorf("MDUpdate after drain = %v", err)
+	}
+	th, _, err := b.MDStatus(md)
+	if err != nil || th != 1 {
+		t.Errorf("threshold after update = %d/%v, want 1", th, err)
+	}
+}
+
+func TestEQAllocValidation(t *testing.T) {
+	s := newState(t, aliceID)
+	if _, err := s.EQAlloc(0); !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("EQAlloc(0) = %v", err)
+	}
+	eq, err := s.EQAlloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EQFree(eq); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EQFree(eq); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("double EQFree = %v", err)
+	}
+	if _, err := s.EQGet(eq); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Errorf("EQGet on freed queue = %v", err)
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	s := NewState(aliceID, types.Limits{MaxEQs: 2}, nil, nil)
+	if _, err := s.EQAlloc(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EQAlloc(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EQAlloc(1); !errors.Is(err, types.ErrNoSpace) {
+		t.Errorf("EQ table overflow = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestSlotReuseBumpsGeneration(t *testing.T) {
+	s := newState(t, aliceID)
+	h1, err := s.EQAlloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EQFree(h1); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.EQAlloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Index != h1.Index {
+		t.Fatalf("slot not reused: %v vs %v", h2, h1)
+	}
+	if h2.Gen == h1.Gen {
+		t.Error("generation not bumped on reuse")
+	}
+	if _, err := s.EQGet(h1); !errors.Is(err, types.ErrInvalidHandle) {
+		t.Error("stale handle accepted after slot reuse")
+	}
+}
+
+func TestCloseFailsOperations(t *testing.T) {
+	s := newState(t, aliceID)
+	eq, err := s.EQAlloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	if _, err := s.MEAttach(0, any, 0, 0, types.Retain, types.After); !errors.Is(err, types.ErrClosed) {
+		t.Errorf("MEAttach after close = %v", err)
+	}
+	if _, err := s.MDBind(MD{Start: nil, Threshold: 1}, types.Retain); !errors.Is(err, types.ErrClosed) {
+		t.Errorf("MDBind after close = %v", err)
+	}
+	if _, err := s.EQAlloc(1); !errors.Is(err, types.ErrClosed) {
+		t.Errorf("EQAlloc after close = %v", err)
+	}
+	if _, err := s.EQWait(eq); !errors.Is(err, types.ErrClosed) {
+		t.Errorf("EQWait after close = %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestStartPutThresholdExhausted(t *testing.T) {
+	s := newState(t, aliceID)
+	md, err := s.MDBind(MD{Start: make([]byte, 4), Threshold: 1}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartPut(md, types.NoAckReq, bobID, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartPut(md, types.NoAckReq, bobID, 0, 0, 0, 0); !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("put on exhausted MD = %v", err)
+	}
+}
+
+func TestStartGetPinsMD(t *testing.T) {
+	a, b, states := pair(t)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	me, err := b.MEAttach(0, any, 0, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MDAttach(me, MD{Start: []byte("abcd"), Threshold: types.ThresholdInfinite, Options: types.MDOpGet}, types.Retain); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4)
+	md, err := a.MDBind(MD{Start: dst, Threshold: types.ThresholdInfinite}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.StartGet(md, bobID, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pending reply: unlink must be refused (§4.7).
+	if err := a.MDUnlink(md); !errors.Is(err, types.ErrMDInUse) {
+		t.Errorf("MDUnlink with pending get = %v, want ErrMDInUse", err)
+	}
+	deliver(t, []Outbound{out}, states)
+	if string(dst) != "abcd" {
+		t.Errorf("get data = %q, want abcd", dst)
+	}
+	if err := a.MDUnlink(md); err != nil {
+		t.Errorf("MDUnlink after reply = %v", err)
+	}
+}

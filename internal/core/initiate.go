@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// StartPut builds the wire message for a put operation (Figure 1). The
+// descriptor's entire region is sent, as PtlPut specifies; the returned
+// Outbound is ready for the transport. A send event is posted to the
+// descriptor's event queue immediately — the message is encoded (the DMA
+// analogue) before return, so the buffer is reusable.
+func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.ProcessID,
+	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Outbound{}, types.ErrClosed
+	}
+	d, ok := s.mds.lookup(md)
+	if !ok {
+		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+	}
+	if !d.active() {
+		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
+	}
+	size := d.view.size()
+	h := wire.NewPut(s.self, target, ptl, cookie, bits, remoteOffset, md, size, ack)
+	msg := wire.EncodeMessage(&h, d.view.readAt(0, size))
+	s.counters.Send(int(size))
+	d.consume()
+	if q := s.eqLocked(d.md.EQ); q != nil {
+		q.Post(eventq.Event{
+			Type:      types.EventSend,
+			Initiator: s.self,
+			PtlIndex:  ptl,
+			MatchBits: bits,
+			RLength:   h.RLength,
+			MLength:   h.RLength,
+			MD:        d.handle,
+			UserPtr:   d.md.UserPtr,
+		})
+	}
+	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
+		s.unlinkMDLocked(d, true)
+	}
+	return Outbound{Dst: target, Msg: msg}, nil
+}
+
+// StartGet builds the wire message for a get operation (Figure 2). The
+// request asks for as many bytes as the local descriptor can hold; the
+// reply lands at the start of the descriptor. The descriptor is pinned
+// (pending) until the reply arrives — §4.7: "the memory descriptor must
+// not be unlinked until the reply is received."
+func (s *State) StartGet(md types.Handle, target types.ProcessID,
+	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Outbound{}, types.ErrClosed
+	}
+	d, ok := s.mds.lookup(md)
+	if !ok {
+		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+	}
+	if !d.active() {
+		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
+	}
+	h := wire.NewGet(s.self, target, ptl, cookie, bits, remoteOffset, md, d.view.size())
+	msg := wire.EncodeMessage(&h, nil)
+	s.counters.Send(0)
+	d.consume()
+	d.pending++
+	return Outbound{Dst: target, Msg: msg}, nil
+}

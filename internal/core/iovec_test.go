@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestIOViewContiguous(t *testing.T) {
+	buf := make([]byte, 16)
+	v := viewOf(&MD{Start: buf})
+	if v.size() != 16 {
+		t.Fatalf("size = %d", v.size())
+	}
+	v.writeAt(4, []byte("abcd"))
+	if !bytes.Equal(buf[4:8], []byte("abcd")) {
+		t.Errorf("buf = %q", buf)
+	}
+	if got := v.readAt(4, 4); !bytes.Equal(got, []byte("abcd")) {
+		t.Errorf("readAt = %q", got)
+	}
+}
+
+func TestIOViewSegmented(t *testing.T) {
+	segs := [][]byte{make([]byte, 3), make([]byte, 5), make([]byte, 4)}
+	v := viewOf(&MD{Segments: segs})
+	if v.size() != 12 {
+		t.Fatalf("size = %d", v.size())
+	}
+	v.writeAt(0, []byte("0123456789AB"))
+	if string(segs[0]) != "012" || string(segs[1]) != "34567" || string(segs[2]) != "89AB" {
+		t.Errorf("segments = %q %q %q", segs[0], segs[1], segs[2])
+	}
+	// Cross-segment window read.
+	if got := v.readAt(2, 7); string(got) != "2345678" {
+		t.Errorf("readAt(2,7) = %q", got)
+	}
+	// Cross-segment window write.
+	v.writeAt(2, []byte("xxxxxxx"))
+	if string(segs[0]) != "01x" || string(segs[1]) != "xxxxx" || string(segs[2]) != "x9AB" {
+		t.Errorf("after write: %q %q %q", segs[0], segs[1], segs[2])
+	}
+}
+
+// Property: a segmented view behaves exactly like the contiguous
+// concatenation for any in-bounds write+read.
+func TestIOViewEquivalenceProperty(t *testing.T) {
+	f := func(l1, l2, l3 uint8, off uint16, data []byte) bool {
+		segs := [][]byte{make([]byte, int(l1)), make([]byte, int(l2)), make([]byte, int(l3))}
+		total := int(l1) + int(l2) + int(l3)
+		flat := make([]byte, total)
+		sv := viewOf(&MD{Segments: segs})
+		fv := viewOf(&MD{Start: flat})
+		o := int(off)
+		if total == 0 || o >= total {
+			return sv.size() == fv.size()
+		}
+		if o+len(data) > total {
+			data = data[:total-o]
+		}
+		sv.writeAt(uint64(o), data)
+		fv.writeAt(uint64(o), data)
+		joined := bytes.Join(segs, nil)
+		if !bytes.Equal(joined, flat) {
+			return false
+		}
+		return bytes.Equal(sv.readAt(0, uint64(total)), fv.readAt(0, uint64(total)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMDRejectsStartAndSegments(t *testing.T) {
+	s := newState(t, aliceID)
+	_, err := s.MDBind(MD{Start: make([]byte, 4), Segments: [][]byte{make([]byte, 4)}, Threshold: 1}, types.Retain)
+	if !errors.Is(err, types.ErrInvalidArgument) {
+		t.Errorf("MDBind with both = %v", err)
+	}
+}
+
+// Scatter on receive: a put lands across the segments of an IOVEC MD.
+func TestScatterPut(t *testing.T) {
+	a, b, states := pair(t)
+	eq, _ := b.EQAlloc(8)
+	header := make([]byte, 4)
+	body := make([]byte, 6)
+	trailer := make([]byte, 2)
+	me, err := b.MEAttach(0, anyID, 1, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MDAttach(me, MD{
+		Segments:  [][]byte{header, body, trailer},
+		Threshold: types.ThresholdInfinite,
+		Options:   types.MDOpPut,
+		EQ:        eq,
+	}, types.Retain); err != nil {
+		t.Fatal(err)
+	}
+	sendPut(t, a, states, []byte("HDRBbodybytT"), 1, 0, types.NoAckReq, types.InvalidHandle)
+	if string(header) != "HDRB" || string(body) != "bodyby" || string(trailer) != "tT" {
+		t.Errorf("scatter = %q %q %q", header, body, trailer)
+	}
+	ev, err := b.EQGet(eq)
+	if err != nil || ev.MLength != 12 {
+		t.Errorf("event %v/%v", ev.MLength, err)
+	}
+}
+
+// Gather on send: a put transmits the concatenation of the segments.
+func TestGatherPut(t *testing.T) {
+	a, b, states := pair(t)
+	sink := make([]byte, 16)
+	postME(t, b, 0, 2, 0, sink, types.MDOpPut, types.ThresholdInfinite, types.InvalidHandle, types.Retain, types.Retain)
+
+	md, err := a.MDBind(MD{
+		Segments:  [][]byte{[]byte("iov"), []byte("-"), []byte("gather")},
+		Threshold: 1,
+	}, types.Unlink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.StartPut(md, types.NoAckReq, bobID, 0, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, []Outbound{out}, states)
+	if !bytes.Equal(sink[:10], []byte("iov-gather")) {
+		t.Errorf("gathered put = %q", sink[:10])
+	}
+}
+
+// Gather on get: the target's segmented MD serves a contiguous reply.
+func TestGatherGet(t *testing.T) {
+	a, b, states := pair(t)
+	me, err := b.MEAttach(0, anyID, 3, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MDAttach(me, MD{
+		Segments:  [][]byte{[]byte("abc"), []byte("defgh"), []byte("ij")},
+		Threshold: types.ThresholdInfinite,
+		Options:   types.MDOpGet | types.MDManageRemote | types.MDTruncate,
+	}, types.Retain); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 6)
+	md, err := a.MDBind(MD{Start: dst, Threshold: types.ThresholdInfinite}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.StartGet(md, bobID, 0, 0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, []Outbound{out}, states)
+	if string(dst) != "cdefgh" {
+		t.Errorf("gathered get = %q", dst)
+	}
+}
+
+// Scatter on reply: the initiator's segmented MD receives a get reply.
+func TestScatterReply(t *testing.T) {
+	a, b, states := pair(t)
+	postME(t, b, 0, 4, 0, []byte("0123456789"), types.MDOpGet|types.MDManageRemote, types.ThresholdInfinite, types.InvalidHandle, types.Retain, types.Retain)
+
+	s1, s2 := make([]byte, 4), make([]byte, 6)
+	md, err := a.MDBind(MD{Segments: [][]byte{s1, s2}, Threshold: types.ThresholdInfinite}, types.Retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.StartGet(md, bobID, 0, 0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, []Outbound{out}, states)
+	if string(s1) != "0123" || string(s2) != "456789" {
+		t.Errorf("scattered reply = %q %q", s1, s2)
+	}
+}
+
+// Locally-managed offsets append across segment boundaries.
+func TestScatterLocalOffsetAppend(t *testing.T) {
+	a, b, states := pair(t)
+	s1, s2 := make([]byte, 3), make([]byte, 5)
+	me, err := b.MEAttach(0, anyID, 5, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MDAttach(me, MD{
+		Segments: [][]byte{s1, s2}, Threshold: types.ThresholdInfinite,
+		Options: types.MDOpPut,
+	}, types.Retain); err != nil {
+		t.Fatal(err)
+	}
+	sendPut(t, a, states, []byte("ab"), 5, 0, types.NoAckReq, types.InvalidHandle)
+	sendPut(t, a, states, []byte("cd"), 5, 0, types.NoAckReq, types.InvalidHandle)
+	sendPut(t, a, states, []byte("ef"), 5, 0, types.NoAckReq, types.InvalidHandle)
+	if string(s1) != "abc" || string(s2[:3]) != "def" {
+		t.Errorf("append across segments = %q %q", s1, s2)
+	}
+}

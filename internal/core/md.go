@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/types"
+)
+
+// MD is the user-visible memory descriptor (§4.4: "each memory descriptor
+// identifies a memory region and an optional event queue").
+type MD struct {
+	// Start is the memory region. Incoming data lands directly in this
+	// slice — the Portals path has no intermediate protocol buffer.
+	Start []byte
+	// Segments, when non-empty, replaces Start with a gather/scatter
+	// list (the §7 extension, PTL_MD_IOVEC in later Portals versions):
+	// the descriptor behaves as the concatenation of the segments.
+	// Start must be nil when Segments is used.
+	Segments [][]byte
+	// Threshold is the number of operations the descriptor accepts before
+	// becoming inactive; ThresholdInfinite disables the countdown.
+	Threshold int32
+	// Options enable operations and select offset management (§4.4, §4.8).
+	Options types.MDOptions
+	// EQ is the event queue to log operations into; InvalidHandle for none.
+	EQ types.Handle
+	// UserPtr is returned verbatim in every event involving this
+	// descriptor; protocols use it to find their per-buffer state without
+	// a lookup table.
+	UserPtr any
+}
+
+// memDesc is the internal state of an attached or bound descriptor.
+type memDesc struct {
+	md          MD
+	view        ioView // offset-addressed access, contiguous or segmented
+	handle      types.Handle
+	me          *matchEntry // nil for free-floating (MDBind) descriptors
+	unlinkOp    types.UnlinkOption
+	threshold   int32 // remaining operations; -1 = infinite
+	localOffset uint64
+	pending     int // operations awaiting a remote response (get replies)
+	unlinked    bool
+}
+
+func (d *memDesc) active() bool { return d.threshold != 0 }
+
+// consume decrements the threshold for one accepted operation.
+func (d *memDesc) consume() {
+	if d.threshold > 0 {
+		d.threshold--
+	}
+}
+
+func (s *State) validateMD(md MD) error {
+	if len(md.Segments) > 0 && md.Start != nil {
+		return fmt.Errorf("%w: MD specifies both Start and Segments", types.ErrInvalidArgument)
+	}
+	if int64(viewOf(&md).size()) > s.limits.MaxMDSize {
+		return fmt.Errorf("%w: MD length %d exceeds limit %d", types.ErrInvalidArgument, viewOf(&md).size(), s.limits.MaxMDSize)
+	}
+	if md.Threshold < 0 && md.Threshold != types.ThresholdInfinite {
+		return fmt.Errorf("%w: bad threshold %d", types.ErrInvalidArgument, md.Threshold)
+	}
+	if md.EQ.IsValid() {
+		if _, ok := s.eqs.lookup(md.EQ); !ok {
+			return fmt.Errorf("%w: event queue %v", types.ErrInvalidHandle, md.EQ)
+		}
+	}
+	return nil
+}
+
+// MDAttach creates a memory descriptor and appends it to the MD list of a
+// match entry (PtlMDAttach). unlinkOp selects whether exhausting the
+// threshold unlinks the descriptor (Figure 4's unlink step) or leaves it
+// inactive but linked.
+func (s *State) MDAttach(me types.Handle, md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return types.InvalidHandle, types.ErrClosed
+	}
+	entry, ok := s.mes.lookup(me)
+	if !ok {
+		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, me)
+	}
+	if err := s.validateMD(md); err != nil {
+		return types.InvalidHandle, err
+	}
+	d := &memDesc{md: md, view: viewOf(&md), me: entry, unlinkOp: unlinkOp, threshold: md.Threshold}
+	h, err := s.mds.alloc(d)
+	if err != nil {
+		return types.InvalidHandle, err
+	}
+	d.handle = h
+	entry.mds = append(entry.mds, d)
+	return h, nil
+}
+
+// MDBind creates a free-floating memory descriptor not attached to any
+// match entry (PtlMDBind); these are the initiator-side descriptors used
+// by Put and Get. With unlinkOp == Unlink the descriptor removes itself
+// once its threshold is spent and no reply is outstanding — the idiom for
+// fire-and-forget send buffers.
+func (s *State) MDBind(md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return types.InvalidHandle, types.ErrClosed
+	}
+	if err := s.validateMD(md); err != nil {
+		return types.InvalidHandle, err
+	}
+	d := &memDesc{md: md, view: viewOf(&md), unlinkOp: unlinkOp, threshold: md.Threshold}
+	h, err := s.mds.alloc(d)
+	if err != nil {
+		return types.InvalidHandle, err
+	}
+	d.handle = h
+	return h, nil
+}
+
+// MDUnlink removes a descriptor (PtlMDUnlink). It fails with ErrMDInUse if
+// the descriptor has operations in flight — §4.7: "the memory descriptor
+// must not be unlinked until the reply is received".
+func (s *State) MDUnlink(h types.Handle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.mds.lookup(h)
+	if !ok {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	if d.pending > 0 {
+		return fmt.Errorf("%w: %d operations in flight", types.ErrMDInUse, d.pending)
+	}
+	s.unlinkMDLocked(d, false)
+	return nil
+}
+
+// MDUpdate atomically replaces the descriptor's user-visible fields,
+// conditioned on an event queue being empty (PtlMDUpdate). If testEQ is a
+// valid handle and that queue has pending events, the update is refused so
+// the caller can first drain them — this is the primitive MPI uses to
+// safely shrink/repoint receive buffers.
+func (s *State) MDUpdate(h types.Handle, newMD MD, testEQ types.Handle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.mds.lookup(h)
+	if !ok {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	if testEQ.IsValid() {
+		q, ok := s.eqs.lookup(testEQ)
+		if !ok {
+			return fmt.Errorf("%w: %v", types.ErrInvalidHandle, testEQ)
+		}
+		if q.Pending() > 0 {
+			return fmt.Errorf("%w: events pending, update refused", types.ErrMDInUse)
+		}
+	}
+	if err := s.validateMD(newMD); err != nil {
+		return err
+	}
+	d.md = newMD
+	d.view = viewOf(&newMD)
+	d.threshold = newMD.Threshold
+	d.localOffset = 0
+	return nil
+}
+
+// MDStatus reports a descriptor's remaining threshold and local offset;
+// tests and higher layers use it to observe consumption.
+func (s *State) MDStatus(h types.Handle) (threshold int32, localOffset uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.mds.lookup(h)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	return d.threshold, d.localOffset, nil
+}
+
+// unlinkMDLocked removes the descriptor and, per Figure 4, cascades to the
+// match entry when the descriptor was its last and the entry asked for
+// auto-unlink. When byEngine is true an unlink event is posted.
+func (s *State) unlinkMDLocked(d *memDesc, byEngine bool) {
+	if d.unlinked {
+		return
+	}
+	d.unlinked = true
+	if me := d.me; me != nil {
+		for i, x := range me.mds {
+			if x == d {
+				me.mds = append(me.mds[:i], me.mds[i+1:]...)
+				break
+			}
+		}
+		// Figure 4: "if the memory descriptor is unlinked and this empties
+		// the memory descriptor list, the match entry will also be
+		// unlinked if its unlink flag has been set."
+		if len(me.mds) == 0 && me.unlink == types.Unlink {
+			s.unlinkMELocked(me)
+		}
+	}
+	if byEngine {
+		if q, ok := s.eqs.lookup(d.md.EQ); ok {
+			q.Post(eventq.Event{
+				Type:    types.EventUnlink,
+				MD:      d.handle,
+				UserPtr: d.md.UserPtr,
+			})
+		}
+	}
+	s.mds.release(d.handle)
+}

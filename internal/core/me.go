@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// matchEntry is one element of a match list (Figure 3): two bit patterns
+// ("don't care" and "must match"), an initiator restriction, an unlink
+// flag, and an ordered list of memory descriptors.
+type matchEntry struct {
+	handle     types.Handle
+	ptlIndex   types.PtlIndex
+	matchID    types.ProcessID // which initiators this entry accepts
+	matchBits  types.MatchBits // the "must match" pattern
+	ignoreBits types.MatchBits // the "don't care" mask
+	unlink     types.UnlinkOption
+	mds        []*memDesc
+	unlinked   bool
+}
+
+// matches implements the Figure 3 semantics: a set of "don't care" bits
+// (ignoreBits) and "must match" bits, plus the initiator restriction.
+func (me *matchEntry) matches(initiator types.ProcessID, bits types.MatchBits) bool {
+	if !me.matchID.Accepts(initiator) {
+		return false
+	}
+	return (bits^me.matchBits)&^me.ignoreBits == 0
+}
+
+// MEAttach creates a match entry and attaches it to the match list at the
+// given portal-table index, at the head (Before) or tail (After) of the
+// list. It mirrors PtlMEAttach.
+func (s *State) MEAttach(ptl types.PtlIndex, matchID types.ProcessID,
+	matchBits, ignoreBits types.MatchBits, unlink types.UnlinkOption,
+	pos types.InsertPosition) (types.Handle, error) {
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return types.InvalidHandle, types.ErrClosed
+	}
+	if int(ptl) >= len(s.table) {
+		return types.InvalidHandle, fmt.Errorf("%w: portal index %d out of range [0,%d]",
+			types.ErrInvalidArgument, ptl, len(s.table)-1)
+	}
+	me := &matchEntry{
+		ptlIndex:   ptl,
+		matchID:    matchID,
+		matchBits:  matchBits,
+		ignoreBits: ignoreBits,
+		unlink:     unlink,
+	}
+	h, err := s.mes.alloc(me)
+	if err != nil {
+		return types.InvalidHandle, err
+	}
+	me.handle = h
+	if pos == types.Before {
+		s.table[ptl] = append([]*matchEntry{me}, s.table[ptl]...)
+	} else {
+		s.table[ptl] = append(s.table[ptl], me)
+	}
+	return h, nil
+}
+
+// MEInsert creates a match entry positioned immediately before or after an
+// existing one in the same match list. It mirrors PtlMEInsert.
+func (s *State) MEInsert(base types.Handle, matchID types.ProcessID,
+	matchBits, ignoreBits types.MatchBits, unlink types.UnlinkOption,
+	pos types.InsertPosition) (types.Handle, error) {
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return types.InvalidHandle, types.ErrClosed
+	}
+	ref, ok := s.mes.lookup(base)
+	if !ok {
+		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, base)
+	}
+	list := s.table[ref.ptlIndex]
+	at := -1
+	for i, e := range list {
+		if e == ref {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return types.InvalidHandle, fmt.Errorf("%w: %v not in its match list", types.ErrInvalidHandle, base)
+	}
+	me := &matchEntry{
+		ptlIndex:   ref.ptlIndex,
+		matchID:    matchID,
+		matchBits:  matchBits,
+		ignoreBits: ignoreBits,
+		unlink:     unlink,
+	}
+	h, err := s.mes.alloc(me)
+	if err != nil {
+		return types.InvalidHandle, err
+	}
+	me.handle = h
+	if pos == types.After {
+		at++
+	}
+	list = append(list, nil)
+	copy(list[at+1:], list[at:])
+	list[at] = me
+	s.table[ref.ptlIndex] = list
+	return h, nil
+}
+
+// MEUnlink removes a match entry and unlinks (but does not invalidate the
+// handles of) any memory descriptors still attached; attached descriptors
+// are released as in PtlMEUnlink, which frees the whole chain.
+func (s *State) MEUnlink(h types.Handle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me, ok := s.mes.lookup(h)
+	if !ok {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	for _, md := range me.mds {
+		if md.pending > 0 {
+			return fmt.Errorf("%w: attached MD %v has operations in flight", types.ErrMDInUse, md.handle)
+		}
+	}
+	for _, md := range me.mds {
+		md.unlinked = true
+		s.mds.release(md.handle)
+	}
+	me.mds = nil
+	s.unlinkMELocked(me)
+	return nil
+}
+
+// unlinkMELocked detaches the entry from its match list and frees its slot.
+func (s *State) unlinkMELocked(me *matchEntry) {
+	if me.unlinked {
+		return
+	}
+	me.unlinked = true
+	list := s.table[me.ptlIndex]
+	for i, e := range list {
+		if e == me {
+			s.table[me.ptlIndex] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	s.mes.release(me.handle)
+}
+
+// MatchListLen reports the current length of the match list at a portal
+// index (used by tests and the memscale experiment).
+func (s *State) MatchListLen(ptl types.PtlIndex) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(ptl) >= len(s.table) {
+		return 0
+	}
+	return len(s.table[ptl])
+}

@@ -1,0 +1,177 @@
+// Package core implements the Portals address-translation and delivery
+// engine — the data structures of Figure 3 (portal table → match lists →
+// memory descriptors → event queues) and the algorithm of Figure 4 —
+// together with the initiator-side operation machinery and the receive
+// rules of §4.8.
+//
+// A State is the per-process, per-interface Portals state. It is
+// deliberately transport-free: incoming wire messages are handed to
+// HandleIncoming, which returns any protocol responses (acks, replies) for
+// the caller to transmit. The network interface layer (internal/nicsim)
+// owns the delivery-engine goroutine that calls into this package; that
+// goroutine is the analogue of the Myrinet control program, and its
+// independence from application goroutines is what realizes application
+// bypass (§5.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/acl"
+	"repro/internal/eventq"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// State holds everything Figure 3 depicts for one process: the portal
+// table, match entries, memory descriptors, event queues, and the ACL,
+// plus the interface counters.
+type State struct {
+	mu sync.Mutex
+
+	self   types.ProcessID
+	limits types.Limits
+
+	table [][]*matchEntry // portal table: index → ordered match list
+
+	mes slotTable[*matchEntry]
+	mds slotTable[*memDesc]
+	eqs slotTable[*eventq.Queue]
+
+	acl      *acl.List
+	counters *stats.Counters
+
+	closed bool
+}
+
+// NewState builds the Portals state for one process. The ACL comes
+// pre-initialized by the runtime (entries 0 and 1, §4.5); counters may be
+// shared with the interface that owns this state.
+func NewState(self types.ProcessID, limits types.Limits, list *acl.List, counters *stats.Counters) *State {
+	limits = limits.Clamp()
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	if list == nil {
+		list = acl.New(limits.MaxACEntries,
+			types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+			types.ProcessID{NID: types.NIDAny, PID: 0})
+	}
+	s := &State{
+		self:     self,
+		limits:   limits,
+		table:    make([][]*matchEntry, limits.MaxPtlIndex+1),
+		acl:      list,
+		counters: counters,
+	}
+	s.mes.init(types.KindME, limits.MaxMEs)
+	s.mds.init(types.KindMD, limits.MaxMDs)
+	s.eqs.init(types.KindEQ, limits.MaxEQs)
+	return s
+}
+
+// Self returns the process identifier this state belongs to.
+func (s *State) Self() types.ProcessID { return s.self }
+
+// Limits returns the granted resource limits.
+func (s *State) Limits() types.Limits { return s.limits }
+
+// Counters exposes the interface counters (NIStatus).
+func (s *State) Counters() *stats.Counters { return s.counters }
+
+// ACL exposes the access-control list for PtlACEntry.
+func (s *State) ACL() *acl.List { return s.acl }
+
+// Close tears down the state: all event queues are closed so waiters wake,
+// and every subsequent operation fails with ErrClosed.
+func (s *State) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var queues []*eventq.Queue
+	s.eqs.each(func(q *eventq.Queue) { queues = append(queues, q) })
+	s.mu.Unlock()
+	for _, q := range queues {
+		q.Close()
+	}
+}
+
+// slot is one entry of a handle table; gen is bumped on every reuse so
+// stale handles are detected (§4.8 depends on detecting vanished MDs/EQs).
+type slot[T any] struct {
+	val  T
+	gen  uint32
+	live bool
+}
+
+// slotTable allocates fixed-size handle spaces for one object kind.
+type slotTable[T any] struct {
+	kind  types.HandleKind
+	slots []slot[T]
+	free  []uint32
+	count int
+}
+
+func (t *slotTable[T]) init(kind types.HandleKind, max int) {
+	t.kind = kind
+	t.slots = make([]slot[T], 0, max)
+}
+
+func (t *slotTable[T]) alloc(v T) (types.Handle, error) {
+	var idx uint32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[idx].val = v
+		t.slots[idx].live = true
+	} else {
+		if len(t.slots) == cap(t.slots) {
+			return types.InvalidHandle, fmt.Errorf("%w: %s table full (%d)", types.ErrNoSpace, t.kind, cap(t.slots))
+		}
+		idx = uint32(len(t.slots))
+		t.slots = append(t.slots, slot[T]{val: v, live: true})
+	}
+	t.count++
+	return types.Handle{Kind: t.kind, Index: idx, Gen: t.slots[idx].gen}, nil
+}
+
+func (t *slotTable[T]) lookup(h types.Handle) (T, bool) {
+	var zero T
+	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
+		return zero, false
+	}
+	sl := &t.slots[h.Index]
+	if !sl.live || sl.gen != h.Gen {
+		return zero, false
+	}
+	return sl.val, true
+}
+
+func (t *slotTable[T]) release(h types.Handle) bool {
+	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
+		return false
+	}
+	sl := &t.slots[h.Index]
+	if !sl.live || sl.gen != h.Gen {
+		return false
+	}
+	var zero T
+	sl.val = zero
+	sl.live = false
+	sl.gen++
+	t.free = append(t.free, h.Index)
+	t.count--
+	return true
+}
+
+func (t *slotTable[T]) each(f func(T)) {
+	for i := range t.slots {
+		if t.slots[i].live {
+			f(t.slots[i].val)
+		}
+	}
+}

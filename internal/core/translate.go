@@ -1,0 +1,252 @@
+package core
+
+import (
+	"repro/internal/eventq"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Outbound is a fully-encoded protocol message the delivery engine must
+// transmit on behalf of this process (an acknowledgment or a reply —
+// §4.3's "activities attributed to a process may ... be performed ... on
+// behalf of the process", i.e. application bypass).
+type Outbound struct {
+	Dst types.ProcessID
+	Msg []byte
+}
+
+// HandleIncoming processes one incoming message per the §4.8 receive rules
+// and returns any protocol responses to transmit. It is called by the
+// interface's delivery engine, never by the application; everything here
+// happens regardless of what the application goroutines are doing.
+//
+// The payload slice is only read during the call; data is copied directly
+// into the matched descriptor's user memory (the single copy that stands
+// in for the DMA on the Puma/Myrinet hardware).
+func (s *State) HandleIncoming(h *wire.Header, payload []byte) []Outbound {
+	switch h.Op {
+	case wire.OpPut:
+		return s.recvPut(h, payload)
+	case wire.OpGet:
+		return s.recvGet(h)
+	case wire.OpAck:
+		s.recvAck(h)
+		return nil
+	case wire.OpReply:
+		s.recvReply(h, payload)
+		return nil
+	default:
+		// DecodeMessage rejects unknown ops; treat a stray one as a drop.
+		s.counters.Drop(types.DropBadTarget)
+		return nil
+	}
+}
+
+// accept decides whether a descriptor accepts an incoming put/get request
+// and computes the operation's offset and manipulated length. The §4.8
+// rejection reasons: "the memory descriptor has not been enabled for the
+// incoming operation; or, the length specified in the request is too long
+// ... and the truncate option has not been enabled."
+func accept(d *memDesc, h *wire.Header, want types.MDOptions) (offset, mlength uint64, ok bool) {
+	if !d.active() {
+		return 0, 0, false
+	}
+	if d.md.Options&want == 0 {
+		return 0, 0, false
+	}
+	if d.md.Options&types.MDManageRemote != 0 {
+		offset = h.Offset
+	} else {
+		offset = d.localOffset
+	}
+	size := d.view.size()
+	var avail uint64
+	if offset < size {
+		avail = size - offset
+	}
+	if h.RLength <= avail {
+		return offset, h.RLength, true
+	}
+	if d.md.Options&types.MDTruncate != 0 {
+		return offset, avail, true
+	}
+	return 0, 0, false
+}
+
+// translate performs the Figure 4 walk: search the match list at the
+// portal index for the first entry whose criteria match AND whose first
+// memory descriptor accepts the request. Both checks failing advance to
+// the next entry; reaching the end aborts the translation.
+func (s *State) translate(h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
+	if int(h.PtlIndex) >= len(s.table) {
+		return nil, 0, 0, types.DropBadPortal
+	}
+	if ok, reason := s.acl.Check(h.Cookie, h.Initiator, h.PtlIndex); !ok {
+		return nil, 0, 0, reason
+	}
+	for _, me := range s.table[h.PtlIndex] {
+		if !me.matches(h.Initiator, h.MatchBits) {
+			continue
+		}
+		// "While the match list is searched for a matching entry, only the
+		// first element in the memory descriptor list is considered."
+		if len(me.mds) == 0 {
+			continue
+		}
+		d := me.mds[0]
+		if offset, mlength, ok := accept(d, h, want); ok {
+			return d, offset, mlength, types.DropNone
+		}
+	}
+	return nil, 0, 0, types.DropNoMatch
+}
+
+// finishOperation applies the post-acceptance steps of Figure 4 in order:
+// consume the threshold, advance a locally-managed offset, log the event,
+// and unlink the descriptor (cascading to the match entry) if it is spent.
+func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Header, offset, mlength uint64) {
+	d.consume()
+	if d.md.Options&types.MDManageRemote == 0 {
+		d.localOffset = offset + mlength
+	}
+	if q := s.eqLocked(d.md.EQ); q != nil {
+		q.Post(eventq.Event{
+			Type:      evType,
+			Initiator: h.Initiator,
+			PtlIndex:  h.PtlIndex,
+			MatchBits: h.MatchBits,
+			RLength:   h.RLength,
+			MLength:   mlength,
+			Offset:    offset,
+			MD:        d.handle,
+			UserPtr:   d.md.UserPtr,
+		})
+	}
+	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
+		s.unlinkMDLocked(d, true)
+	}
+}
+
+func (s *State) recvPut(h *wire.Header, payload []byte) []Outbound {
+	s.mu.Lock()
+	d, offset, mlength, reason := s.translate(h, types.MDOpPut)
+	if reason != types.DropNone {
+		s.mu.Unlock()
+		s.counters.Drop(reason)
+		return nil
+	}
+	d.view.writeAt(offset, payload[:mlength])
+	s.counters.Recv(int(mlength))
+	ackWanted := h.AckRequested() && d.md.Options&types.MDAckDisable == 0
+	s.finishOperation(d, types.EventPut, h, offset, mlength)
+	s.mu.Unlock()
+
+	if !ackWanted {
+		return nil
+	}
+	ack := wire.AckFor(h, mlength)
+	s.counters.Ack()
+	return []Outbound{{Dst: ack.Target, Msg: wire.EncodeMessage(&ack, nil)}}
+}
+
+func (s *State) recvGet(h *wire.Header) []Outbound {
+	s.mu.Lock()
+	d, offset, mlength, reason := s.translate(h, types.MDOpGet)
+	if reason != types.DropNone {
+		s.mu.Unlock()
+		s.counters.Drop(reason)
+		return nil
+	}
+	// Encode while holding the lock so the data cannot be concurrently
+	// unlinked/reused between read and transmit (the hardware analogue is
+	// the NIC DMA-reading the region before completing the operation).
+	reply := wire.ReplyFor(h, mlength)
+	msg := wire.EncodeMessage(&reply, d.view.readAt(offset, mlength))
+	s.counters.Recv(0)
+	s.finishOperation(d, types.EventGet, h, offset, mlength)
+	s.mu.Unlock()
+
+	s.counters.Reply()
+	return []Outbound{{Dst: reply.Target, Msg: msg}}
+}
+
+// recvAck implements §4.8: "upon receipt of an acknowledgment, the runtime
+// system only needs to confirm that the event queue still exists. Should
+// the event queue no longer exist, the message is simply discarded and the
+// dropped message count for the interface is incremented."
+func (s *State) recvAck(h *wire.Header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.mds.lookup(h.MD)
+	if !ok {
+		s.counters.Drop(types.DropEQGone)
+		return
+	}
+	q := s.eqLocked(d.md.EQ)
+	if q == nil {
+		s.counters.Drop(types.DropEQGone)
+		return
+	}
+	q.Post(eventq.Event{
+		Type:      types.EventAck,
+		Initiator: h.Initiator,
+		PtlIndex:  h.PtlIndex,
+		MatchBits: h.MatchBits,
+		RLength:   h.RLength,
+		MLength:   h.MLength,
+		Offset:    h.Offset,
+		MD:        d.handle,
+		UserPtr:   d.md.UserPtr,
+	})
+	// An acknowledgment is an operation on the descriptor: it consumes
+	// threshold. A put that requests an ack therefore needs threshold 2
+	// (send + ack) on its descriptor to survive until the ack lands.
+	d.consume()
+	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
+		s.unlinkMDLocked(d, true)
+	}
+}
+
+// recvReply implements §4.8: "a reply message will be dropped if the
+// memory descriptor identified in the request doesn't exist or if the
+// event queue in the memory descriptor has no space and is not null. ...
+// Every memory descriptor accepts and truncates incoming reply messages."
+func (s *State) recvReply(h *wire.Header, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.mds.lookup(h.MD)
+	if !ok {
+		s.counters.Drop(types.DropMDGone)
+		return
+	}
+	var q *eventq.Queue
+	if d.md.EQ.IsValid() {
+		q = s.eqLocked(d.md.EQ)
+		if q != nil && !q.HasSpace() {
+			s.counters.Drop(types.DropEQFull)
+			return
+		}
+	}
+	mlength := h.MLength
+	if max := d.view.size(); mlength > max {
+		mlength = max // unconditional truncation for replies
+	}
+	d.view.writeAt(0, payload[:mlength])
+	s.counters.Recv(int(mlength))
+	if d.pending > 0 {
+		d.pending--
+	}
+	if q != nil {
+		q.Post(eventq.Event{
+			Type:      types.EventReply,
+			Initiator: h.Initiator,
+			RLength:   h.RLength,
+			MLength:   mlength,
+			MD:        d.handle,
+			UserPtr:   d.md.UserPtr,
+		})
+	}
+	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
+		s.unlinkMDLocked(d, true)
+	}
+}

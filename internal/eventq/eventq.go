@@ -1,0 +1,202 @@
+// Package eventq implements Portals event queues.
+//
+// §4.8: "Event queues are circular, which prevents indexing out of bounds.
+// The higher level protocol needs to ensure that there are enough event
+// slots and the rate of event consumption is able to keep up with the rate
+// of event production to avoid missing events."
+//
+// Producers (the delivery engine) never block: posting into a full queue
+// overwrites the oldest unconsumed slot, and the consumer is told about the
+// overrun through ErrEQDropped on its next Get — the exact failure mode the
+// spec gives higher-level protocols to design around.
+package eventq
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Event records one completed Portals operation (§4.8). Which fields are
+// meaningful depends on Type; Sequence is a per-queue monotone counter.
+type Event struct {
+	Type      types.EventType
+	Initiator types.ProcessID // who initiated the operation (for PUT/GET at the target)
+	PtlIndex  types.PtlIndex
+	MatchBits types.MatchBits
+	RLength   uint64 // length requested on the wire
+	MLength   uint64 // manipulated length: bytes actually moved (§4.7)
+	Offset    uint64 // offset within the descriptor at which data landed
+	MD        types.Handle
+	UserPtr   any // the user_ptr of the memory descriptor involved
+	Sequence  uint64
+}
+
+// Queue is a fixed-capacity circular event queue. All methods are safe for
+// concurrent use by one or more producers and consumers.
+//
+// Blocking consumers are woken through a one-token notify channel rather
+// than a condition variable so that Poll can honour its timeout without
+// sleep-polling (which would put milliseconds of scheduler latency on the
+// event path).
+type Queue struct {
+	mu       sync.Mutex
+	ring     []Event
+	produced uint64 // events ever posted
+	consumed uint64 // events ever handed to Get/Wait
+	closed   bool
+	notify   chan struct{} // one-token wakeup; consumers retry Get on wake
+	done     chan struct{} // closed by Close
+}
+
+// New allocates a queue with the given number of event slots. Sizes below
+// one are raised to one.
+func New(slots int) *Queue {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Queue{
+		ring:   make([]Event, slots),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+}
+
+// Cap returns the number of event slots.
+func (q *Queue) Cap() int { return len(q.ring) }
+
+// Post appends an event. It never blocks and never fails; if the queue is
+// full the oldest unconsumed event is overwritten (circular semantics).
+// Post on a closed queue is a no-op.
+func (q *Queue) Post(ev Event) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	ev.Sequence = q.produced
+	q.ring[q.produced%uint64(len(q.ring))] = ev
+	q.produced++
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default: // a wakeup is already pending; the woken consumer will drain
+	}
+}
+
+// HasSpace reports whether a Post right now would not overwrite an
+// unconsumed event. The delivery engine uses this for the §4.8 reply rule:
+// "a reply message will be dropped if ... the event queue in the memory
+// descriptor has no space".
+func (q *Queue) HasSpace() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.produced-q.consumed < uint64(len(q.ring))
+}
+
+// Pending returns the number of unconsumed events (clamped to capacity).
+func (q *Queue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.produced - q.consumed
+	if n > uint64(len(q.ring)) {
+		n = uint64(len(q.ring))
+	}
+	return int(n)
+}
+
+// Get removes and returns the oldest pending event without blocking.
+//
+// Errors: ErrEQEmpty if nothing is pending; ErrEQDropped if the producer
+// lapped the consumer — in that case the returned event IS valid (it is the
+// oldest event that survived) and the consumer has been resynchronized, so
+// subsequent Gets behave normally. ErrClosed after Close once drained.
+func (q *Queue) Get() (Event, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.getLocked()
+}
+
+func (q *Queue) getLocked() (Event, error) {
+	if q.consumed == q.produced {
+		if q.closed {
+			return Event{}, types.ErrClosed
+		}
+		return Event{}, types.ErrEQEmpty
+	}
+	n := uint64(len(q.ring))
+	if q.produced-q.consumed > n {
+		// Overrun: events in (consumed, produced-n) were overwritten.
+		q.consumed = q.produced - n
+		ev := q.ring[q.consumed%n]
+		q.consumed++
+		return ev, types.ErrEQDropped
+	}
+	ev := q.ring[q.consumed%n]
+	q.consumed++
+	return ev, nil
+}
+
+// Wait blocks until an event is available (or the queue is closed) and
+// returns it, with the same ErrEQDropped convention as Get.
+func (q *Queue) Wait() (Event, error) {
+	for {
+		ev, err := q.Get()
+		if err != types.ErrEQEmpty {
+			return ev, err
+		}
+		select {
+		case <-q.notify:
+		case <-q.done:
+			// Closed: one final Get decides between a late event and
+			// ErrClosed.
+		}
+	}
+}
+
+// Poll waits up to d for an event. On timeout it returns ErrEQEmpty.
+// A non-positive d makes Poll equivalent to Get.
+func (q *Queue) Poll(d time.Duration) (Event, error) {
+	if d <= 0 {
+		return q.Get()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		ev, err := q.Get()
+		if err != types.ErrEQEmpty {
+			return ev, err
+		}
+		select {
+		case <-q.notify:
+		case <-q.done:
+			if ev, err := q.Get(); err != types.ErrEQEmpty {
+				return ev, err
+			}
+			return Event{}, types.ErrClosed
+		case <-timer.C:
+			return Event{}, types.ErrEQEmpty
+		}
+	}
+}
+
+// Close wakes all waiters. Pending events remain retrievable; once drained,
+// Get and Wait return ErrClosed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/portals"
+)
+
+// E7 — §2 cites "a high-performance collective communication library
+// implemented directly on Portals" underneath Puma MPI. This experiment
+// compares collectives built directly on Portals (internal/coll:
+// persistent pre-armed entries, no tag matching, no unexpected copies,
+// no rendezvous) against the same operations layered over MPI
+// send/recv.
+
+// CollPoint is one row of the ablation.
+type CollPoint struct {
+	Procs        int
+	Op           string
+	DirectPerOp  time.Duration
+	OverMPIPerOp time.Duration
+	Speedup      float64
+}
+
+// CollAblation times iters barriers and allreduces (vector length vec)
+// for a job of n processes on the given fabric, both ways.
+func CollAblation(fab portals.Fabric, n, iters, vec int) ([]CollPoint, error) {
+	direct, err := timeDirect(fab, n, iters, vec)
+	if err != nil {
+		return nil, fmt.Errorf("direct: %w", err)
+	}
+	over, err := timeOverMPI(fab, n, iters, vec)
+	if err != nil {
+		return nil, fmt.Errorf("over-mpi: %w", err)
+	}
+	out := make([]CollPoint, 0, 2)
+	for _, op := range []string{"barrier", "allreduce"} {
+		p := CollPoint{Procs: n, Op: op, DirectPerOp: direct[op], OverMPIPerOp: over[op]}
+		if p.DirectPerOp > 0 {
+			p.Speedup = float64(p.OverMPIPerOp) / float64(p.DirectPerOp)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func timeDirect(fab portals.Fabric, n, iters, vec int) (map[string]time.Duration, error) {
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	nis, err := m.LaunchJob(n)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]portals.ProcessID, n)
+	for r, ni := range nis {
+		ids[r] = ni.ID()
+	}
+	groups := make([]*coll.Group, n)
+	for r, ni := range nis {
+		g, err := coll.NewGroup(ni, r, ids, coll.Config{MaxVec: vec})
+		if err != nil {
+			return nil, err
+		}
+		groups[r] = g
+	}
+	res := map[string]time.Duration{}
+
+	run := func(name string, f func(g *coll.Group) error) error {
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for r, g := range groups {
+			wg.Add(1)
+			go func(r int, g *coll.Group) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if err := f(g); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r, g)
+		}
+		wg.Wait()
+		res[name] = time.Since(start) / time.Duration(iters)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := run("barrier", func(g *coll.Group) error { return g.Barrier() }); err != nil {
+		return nil, err
+	}
+	if err := run("allreduce", func(g *coll.Group) error {
+		v := make([]float64, vec)
+		return g.Allreduce(v, coll.Sum)
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func timeOverMPI(fab portals.Fabric, n, iters, vec int) (map[string]time.Duration, error) {
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	w, err := mpi.NewWorld(m, n, mpi.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res := map[string]time.Duration{}
+	run := func(name string, f func(c *mpi.Comm) error) error {
+		start := time.Now()
+		err := w.Run(func(c *mpi.Comm) error {
+			for i := 0; i < iters; i++ {
+				if err := f(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		res[name] = time.Since(start) / time.Duration(iters)
+		return err
+	}
+	if err := run("barrier", func(c *mpi.Comm) error { return c.Barrier() }); err != nil {
+		return nil, err
+	}
+	if err := run("allreduce", func(c *mpi.Comm) error {
+		v := make([]float64, vec)
+		return c.Allreduce(v, mpi.Sum)
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

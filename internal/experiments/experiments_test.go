@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/rtscts"
+	"repro/internal/transport/simnet"
+	"repro/portals"
+)
+
+// fastBypassConfig keeps unit-test runtime low while preserving the
+// architectural contrast: a paced fabric slow enough that message
+// handling takes a measurable few milliseconds.
+func fastBypassConfig() BypassConfig {
+	return BypassConfig{
+		Batch:   4,
+		MsgSize: 50 * 1024,
+		Iters:   2,
+		Net:     simnet.Config{Latency: 20 * time.Microsecond, Bandwidth: 100e6, MTU: 4096},
+		Rel:     rtscts.Config{RTO: 20 * time.Millisecond},
+	}
+}
+
+// The headline result as a unit test: with a work interval comfortably
+// larger than the message-handling time, MPI/Portals has nearly nothing
+// left to wait for, while MPI/GM still has (almost) everything.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	cfg := fastBypassConfig()
+	const work = 30 * time.Millisecond
+
+	gm, err := RunBypass(StackGM, work, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunBypass(StackPortals, work, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("work=%v  wait(GM)=%v  wait(Portals)=%v", work, gm.WaitTime, pt.WaitTime)
+	if pt.WaitTime*2 >= gm.WaitTime {
+		t.Errorf("application bypass not visible: portals wait %v vs gm wait %v", pt.WaitTime, gm.WaitTime)
+	}
+}
+
+// With zero work both stacks must do the full handling in the wait — the
+// curves of Figure 6 start at roughly the same point.
+func TestFigure6ZeroWorkComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	cfg := fastBypassConfig()
+	gm, err := RunBypass(StackGM, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunBypass(StackPortals, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("work=0  wait(GM)=%v  wait(Portals)=%v", gm.WaitTime, pt.WaitTime)
+	if gm.WaitTime == 0 || pt.WaitTime == 0 {
+		t.Error("zero-work wait times should both be nonzero")
+	}
+}
+
+// The §5.3 variant: test calls during the work interval let MPI/GM catch
+// up substantially.
+func TestFigure6TestCallsHelpGM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	cfg := fastBypassConfig()
+	const work = 30 * time.Millisecond
+	flat, err := RunBypass(StackGM, work, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TestCalls = 3
+	helped, err := RunBypass(StackGM, work, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("work=%v  wait(GM)=%v  wait(GM+3 tests)=%v", work, flat.WaitTime, helped.WaitTime)
+	if helped.WaitTime*2 >= flat.WaitTime {
+		t.Errorf("test calls did not help GM: %v vs %v", helped.WaitTime, flat.WaitTime)
+	}
+}
+
+func TestPingPongLoopback(t *testing.T) {
+	lat, err := PingPong(portals.Loopback(), PingPongConfig{Size: 0, Iters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Errorf("latency = %v", lat)
+	}
+	t.Logf("0-byte half-RTT over loopback: %v", lat)
+}
+
+func TestPingPongSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	lat, err := PingPong(portals.Myrinet(), PingPongConfig{Size: 0, Iters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("0-byte half-RTT over simulated Myrinet: %v", lat)
+	if lat <= 0 {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	pt, err := Bandwidth(portals.Loopback(), 64*1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MBps <= 0 {
+		t.Errorf("bandwidth = %v", pt.MBps)
+	}
+	t.Logf("64 KB × 32 over loopback: %.1f MB/s", pt.MBps)
+}
+
+func TestMemScaleTrend(t *testing.T) {
+	const credits, bufSize = 16, 32 * 1024
+	measure := func(n int) MemScalePoint {
+		m := portals.NewMachine(portals.Loopback())
+		defer m.Close()
+		p, err := MemScale(m, n, mpi.Config{}, credits, bufSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	small := measure(2)
+	large := measure(16)
+	t.Logf("peers=%d portals=%d via=%d | peers=%d portals=%d via=%d",
+		small.Peers, small.PortalsBytes, small.VIABytes,
+		large.Peers, large.PortalsBytes, large.VIABytes)
+	if small.PortalsBytes != large.PortalsBytes {
+		t.Errorf("portals unexpected memory varies with peers: %d vs %d",
+			small.PortalsBytes, large.PortalsBytes)
+	}
+	if large.VIABytes <= small.VIABytes*10 {
+		t.Errorf("VIA memory did not grow linearly: %d vs %d", small.VIABytes, large.VIABytes)
+	}
+}
+
+func TestCollAblation(t *testing.T) {
+	points, err := CollAblation(portals.Loopback(), 4, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("%s n=%d: direct=%v over-mpi=%v speedup=%.2f",
+			p.Op, p.Procs, p.DirectPerOp, p.OverMPIPerOp, p.Speedup)
+		if p.DirectPerOp <= 0 || p.OverMPIPerOp <= 0 {
+			t.Errorf("%s: non-positive timing", p.Op)
+		}
+	}
+}
+
+// §4.1's scalability claim, measurable form: the dissemination barrier
+// costs each process Θ(log n) messages — constant per-process state and
+// work per doubling, the property that let Portals "support a parallel
+// job running on the order of ten thousand nodes". (Wall time on this
+// host measures total work across ALL simulated processes, which is
+// n·log n by construction, so the per-process message count is the
+// scale-invariant critical-path metric.)
+func TestBarrierScalingLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	points, err := BarrierScaling(portals.Loopback(), []int{4, 16, 64}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("n=%3d  wall=%v  msgs/proc=%.2f  msgs/proc/log2(n)=%.2f",
+			p.Procs, p.PerBarrier, p.MsgsPerProc, p.MsgsPerOpLog)
+	}
+	for _, p := range points {
+		want := float64(log2ceil(p.Procs))
+		if p.MsgsPerProc < want-0.01 || p.MsgsPerProc > want+0.5 {
+			t.Errorf("n=%d: %.2f msgs/proc/barrier, want ~%v (log2 rounds)",
+				p.Procs, p.MsgsPerProc, want)
+		}
+	}
+}
+
+// Figure6Sweep drives both stacks over a work-interval range — the same
+// code path cmd/bypass and EXPERIMENTS.md describe, exercised end to end.
+func TestFigure6SweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment skipped in -short")
+	}
+	cfg := fastBypassConfig()
+	cfg.Iters = 1
+	results, err := Figure6Sweep([]time.Duration{0, 10 * time.Millisecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // 2 stacks × 2 points
+		t.Fatalf("got %d results", len(results))
+	}
+	byKey := map[string]time.Duration{}
+	for _, r := range results {
+		byKey[string(r.Stack)+r.WorkInterval.String()] = r.WaitTime
+	}
+	if byKey["portals10ms"]*2 >= byKey["gm10ms"] {
+		t.Errorf("sweep lost the Figure 6 shape: portals %v vs gm %v",
+			byKey["portals10ms"], byKey["gm10ms"])
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"repro/internal/mpi"
+	"repro/portals"
+)
+
+// E5 — §4.1: "For many message passing systems, such as VIA, the amount
+// of memory required for unexpected messages grows linearly with the
+// number of connections. Portals allow for the amount of memory used for
+// unexpected message buffers to be based on the needs and behavior of
+// the application rather than based simply on the number of processes."
+//
+// The Portals side is measured on a real communicator; the VIA side is a
+// faithful miniature of a VIA endpoint manager: it actually allocates the
+// per-connection descriptor rings and receive buffers a VI NIC requires
+// pre-posted per peer, and reports what it allocated.
+
+// MemScalePoint is one row of the experiment.
+type MemScalePoint struct {
+	Peers         int
+	PortalsBytes  int
+	VIABytes      int
+	PortalsPerJob float64 // bytes per peer, to show the trend
+	VIAPerPeer    float64
+}
+
+// viaEndpoint models one VI connection's receive-side commitment: a
+// descriptor ring plus credits × eager-buffer pre-posted receives. VIA
+// has no matching at the NIC, so every connection must keep its own
+// buffers posted; none can be shared.
+type viaEndpoint struct {
+	descriptors []byte
+	buffers     [][]byte
+}
+
+// viaConnectionTable allocates endpoints for n peers, the way a VIA-based
+// MPI sets up its fully-connected job, and reports the receive-side bytes
+// committed.
+func viaConnectionTable(peers, credits, bufSize int) int {
+	const descSize = 64 // one VI descriptor
+	total := 0
+	eps := make([]*viaEndpoint, peers)
+	for i := range eps {
+		ep := &viaEndpoint{descriptors: make([]byte, credits*descSize)}
+		for j := 0; j < credits; j++ {
+			ep.buffers = append(ep.buffers, make([]byte, bufSize))
+		}
+		eps[i] = ep
+		total += len(ep.descriptors)
+		for _, b := range ep.buffers {
+			total += len(b)
+		}
+	}
+	return total
+}
+
+// MemScale measures unexpected-message memory for a job of n processes
+// under both models. credits and bufSize parameterize the VIA side
+// (typical MPI-over-VIA: 8–32 credits of eager-size buffers per peer);
+// the Portals side is read off a real communicator, whose overflow pool
+// is set by application policy (mpi.Config), not by n.
+func MemScale(m *portals.Machine, n int, mpiCfg mpi.Config, credits, bufSize int) (MemScalePoint, error) {
+	w, err := mpi.NewWorld(m, n, mpiCfg)
+	if err != nil {
+		return MemScalePoint{}, err
+	}
+	p := MemScalePoint{Peers: n - 1}
+	p.PortalsBytes = w.Comm(0).UnexpectedBytes()
+	p.VIABytes = viaConnectionTable(n-1, credits, bufSize)
+	if n > 1 {
+		p.PortalsPerJob = float64(p.PortalsBytes) / float64(n-1)
+		p.VIAPerPeer = float64(p.VIABytes) / float64(n-1)
+	}
+	return p, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/portals"
+)
+
+// PingPongConfig parameterizes the latency experiment (E3: §3 reports
+// "less than 20 µsec for a zero-length ping-pong latency test" for the
+// NIC-resident implementation).
+type PingPongConfig struct {
+	Size  int // payload bytes (0 for the paper's headline number)
+	Iters int // round trips to average over
+}
+
+// PingPong measures half-round-trip latency for Size-byte Portals puts
+// over the given fabric.
+func PingPong(fab portals.Fabric, cfg PingPongConfig) (time.Duration, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	a, err := m.NIInit(1, 1, portals.Limits{})
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.NIInit(2, 1, portals.Limits{})
+	if err != nil {
+		return 0, err
+	}
+
+	arm := func(ni *portals.NI, size int) (portals.Handle, []byte, error) {
+		eq, err := ni.EQAlloc(64)
+		if err != nil {
+			return portals.InvalidHandle, nil, err
+		}
+		me, err := ni.MEAttach(0, portals.AnyProcess, 0x9999, 0, portals.Retain, portals.After)
+		if err != nil {
+			return portals.InvalidHandle, nil, err
+		}
+		buf := make([]byte, size)
+		_, err = ni.MDAttach(me, portals.MD{
+			Start:     buf,
+			Threshold: portals.ThresholdInfinite,
+			Options:   portals.MDOpPut | portals.MDManageRemote | portals.MDTruncate,
+			EQ:        eq,
+		}, portals.Retain)
+		return eq, buf, err
+	}
+
+	aEQ, aBuf, err := arm(a, cfg.Size)
+	if err != nil {
+		return 0, err
+	}
+	bEQ, bBuf, err := arm(b, cfg.Size)
+	if err != nil {
+		return 0, err
+	}
+
+	send := func(ni *portals.NI, buf []byte, to portals.ProcessID) error {
+		md, err := ni.MDBind(portals.MD{Start: buf, Threshold: 1}, portals.Unlink)
+		if err != nil {
+			return err
+		}
+		return ni.Put(md, portals.NoAckReq, to, 0, 0, 0x9999, 0)
+	}
+	waitPut := func(ni *portals.NI, eq portals.Handle) error {
+		for {
+			ev, err := ni.EQPoll(eq, 30*time.Second)
+			if errors.Is(err, portals.ErrEQEmpty) {
+				return fmt.Errorf("experiments: ping-pong stalled")
+			}
+			if err != nil && !errors.Is(err, portals.ErrEQDropped) {
+				return err
+			}
+			if ev.Type == portals.EventPut {
+				return nil
+			}
+		}
+	}
+
+	// Echo side.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.Iters; i++ {
+			if err := waitPut(b, bEQ); err != nil {
+				done <- err
+				return
+			}
+			if err := send(b, bBuf, a.ID()); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	// Warm the path once before timing (lazy link/connection setup).
+	start := time.Now()
+	for i := 0; i < cfg.Iters; i++ {
+		if err := send(a, aBuf, b.ID()); err != nil {
+			return 0, err
+		}
+		if err := waitPut(a, aEQ); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return elapsed / time.Duration(2*cfg.Iters), nil
+}
+
+// BandwidthPoint is one point of the E8 curve.
+type BandwidthPoint struct {
+	Size    int
+	MBps    float64
+	Elapsed time.Duration
+}
+
+// Bandwidth measures one-directional throughput for messages of the
+// given size streamed over raw Portals puts (E8: §3's packet-pipelining
+// claim, and the transport's eager/rendezvous crossover).
+func Bandwidth(fab portals.Fabric, size, count int) (BandwidthPoint, error) {
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	tx, err := m.NIInit(1, 1, portals.Limits{})
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	rx, err := m.NIInit(2, 1, portals.Limits{})
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	eq, err := rx.EQAlloc(count + 8)
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	me, err := rx.MEAttach(0, portals.AnyProcess, 1, 0, portals.Retain, portals.After)
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	sink := make([]byte, size)
+	if _, err := rx.MDAttach(me, portals.MD{
+		Start:     sink,
+		Threshold: portals.ThresholdInfinite,
+		Options:   portals.MDOpPut | portals.MDManageRemote | portals.MDTruncate,
+		EQ:        eq,
+	}, portals.Retain); err != nil {
+		return BandwidthPoint{}, err
+	}
+
+	payload := make([]byte, size)
+	md, err := tx.MDBind(portals.MD{Start: payload, Threshold: portals.ThresholdInfinite}, portals.Retain)
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		if err := tx.Put(md, portals.NoAckReq, rx.ID(), 0, 0, 1, 0); err != nil {
+			return BandwidthPoint{}, err
+		}
+	}
+	seen := 0
+	for seen < count {
+		ev, err := rx.EQPoll(eq, 60*time.Second)
+		if errors.Is(err, portals.ErrEQEmpty) {
+			return BandwidthPoint{}, fmt.Errorf("experiments: bandwidth stream stalled at %d/%d", seen, count)
+		}
+		if err != nil && !errors.Is(err, portals.ErrEQDropped) {
+			return BandwidthPoint{}, err
+		}
+		if ev.Type == portals.EventPut {
+			seen++
+		}
+	}
+	elapsed := time.Since(start)
+	bytes := float64(size) * float64(count)
+	return BandwidthPoint{
+		Size:    size,
+		MBps:    bytes / elapsed.Seconds() / 1e6,
+		Elapsed: elapsed,
+	}, nil
+}

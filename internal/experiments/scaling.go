@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coll"
+	"repro/portals"
+)
+
+// E14 — §4.1: "The primary goal in the design of Portals is scalability
+// ... designed specifically for an implementation capable of supporting a
+// parallel job running on the order of ten thousand nodes." The concrete,
+// measurable consequence on the protocol level: collective operations
+// built on Portals complete in O(log n) communication rounds with
+// constant per-process state, so their latency grows logarithmically —
+// not linearly — with the job size.
+
+// ScalePoint is one row of the scaling table. On a host where every
+// simulated process shares the CPUs, wall time measures total protocol
+// WORK (Θ(n log n) messages per barrier), so the scale-invariant
+// quantity is the per-process message count — the critical-path metric
+// that would be wall time on real parallel hardware. It must equal
+// ⌈log2 n⌉ for a dissemination barrier.
+type ScalePoint struct {
+	Procs        int
+	PerBarrier   time.Duration // wall time (total-work proxy on shared CPUs)
+	MsgsPerProc  float64       // protocol messages per process per barrier
+	PerOpRatio   float64       // wall-time ratio vs the smallest size
+	MsgsPerOpLog float64       // MsgsPerProc / log2(n): ~1.0 if logarithmic
+}
+
+// BarrierScaling measures dissemination-barrier cost across job sizes on
+// the given fabric.
+func BarrierScaling(fab portals.Fabric, sizes []int, iters int) ([]ScalePoint, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	out := make([]ScalePoint, 0, len(sizes))
+	var base time.Duration
+	for _, n := range sizes {
+		d, msgs, err := timeBarriers(fab, n, iters)
+		if err != nil {
+			return nil, err
+		}
+		p := ScalePoint{Procs: n, PerBarrier: d, MsgsPerProc: msgs}
+		if base == 0 {
+			base = d
+		}
+		if base > 0 {
+			p.PerOpRatio = float64(d) / float64(base)
+		}
+		if lg := log2ceil(n); lg > 0 {
+			p.MsgsPerOpLog = msgs / float64(lg)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func log2ceil(n int) int {
+	lg := 0
+	for v := 1; v < n; v *= 2 {
+		lg++
+	}
+	return lg
+}
+
+func timeBarriers(fab portals.Fabric, n, iters int) (time.Duration, float64, error) {
+	m := portals.NewMachine(fab)
+	defer m.Close()
+	nis, err := m.LaunchJob(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	ids := make([]portals.ProcessID, n)
+	for r, ni := range nis {
+		ids[r] = ni.ID()
+	}
+	groups := make([]*coll.Group, n)
+	for r, ni := range nis {
+		g, err := coll.NewGroup(ni, r, ids, coll.Config{})
+		if err != nil {
+			return 0, 0, err
+		}
+		groups[r] = g
+	}
+	// One warm-up round brings all lazy per-pair state up.
+	if err := runBarrierRound(groups, 1); err != nil {
+		return 0, 0, err
+	}
+	var sendsBefore int64
+	for _, ni := range nis {
+		sendsBefore += ni.Status().SendMsgs
+	}
+	start := time.Now()
+	if err := runBarrierRound(groups, iters); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start) / time.Duration(iters)
+	var sendsAfter int64
+	for _, ni := range nis {
+		sendsAfter += ni.Status().SendMsgs
+	}
+	msgsPerProc := float64(sendsAfter-sendsBefore) / float64(iters) / float64(n)
+	return elapsed, msgsPerProc, nil
+}
+
+func runBarrierRound(groups []*coll.Group, iters int) error {
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for r, g := range groups {
+		wg.Add(1)
+		go func(r int, g *coll.Group) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := g.Barrier(); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+		}(r, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

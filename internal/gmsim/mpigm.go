@@ -1,0 +1,346 @@
+package gmsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Config tunes the MPI-over-GM protocol.
+type Config struct {
+	// EagerLimit is the largest message sent eagerly; longer messages use
+	// the RTS/CTS rendezvous of MPICH/GM (default 16 KB, its
+	// threshold's order of magnitude).
+	EagerLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerLimit <= 0 {
+		c.EagerLimit = 16 * 1024
+	}
+	return c
+}
+
+// Message kinds of the MPI-over-GM wire protocol.
+const (
+	kindEager uint8 = 1
+	kindRTS   uint8 = 2
+	kindCTS   uint8 = 3
+	kindRData uint8 = 4
+)
+
+const gmHdrSize = 16 // kind(1) pad(3) tag(4) seq(4) len(4)
+
+func encGM(kind uint8, tag int, seq uint32, payload []byte, length int) []byte {
+	buf := make([]byte, gmHdrSize+len(payload))
+	buf[0] = kind
+	binary.BigEndian.PutUint32(buf[4:], uint32(tag))
+	binary.BigEndian.PutUint32(buf[8:], seq)
+	binary.BigEndian.PutUint32(buf[12:], uint32(length))
+	copy(buf[gmHdrSize:], payload)
+	return buf
+}
+
+func decGM(msg []byte) (kind uint8, tag int, seq uint32, length int, payload []byte, err error) {
+	if len(msg) < gmHdrSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("gmsim: short message")
+	}
+	return msg[0],
+		int(binary.BigEndian.Uint32(msg[4:])),
+		binary.BigEndian.Uint32(msg[8:]),
+		int(binary.BigEndian.Uint32(msg[12:])),
+		msg[gmHdrSize:], nil
+}
+
+// Status mirrors mpi.Status for the baseline.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Request is one non-blocking MPI-over-GM operation.
+type Request struct {
+	c      *Comm
+	isSend bool
+	done   bool
+	status Status
+
+	// Send state.
+	dst  int
+	tag  int
+	data []byte
+	seq  uint32
+
+	// Receive state.
+	buf     []byte
+	wantSrc int
+	wantTag int
+}
+
+// Done reports completion without driving progress.
+func (r *Request) Done() bool { return r.done }
+
+type uexGM struct {
+	src, tag int
+	eager    bool
+	data     []byte // eager payload
+	seq      uint32 // rendezvous id
+	length   int
+}
+
+// Comm is one rank of an MPI-over-GM job (MPI_THREAD_SINGLE, like the
+// Portals-based Comm).
+type Comm struct {
+	port *Port
+	rank int
+	size int
+	nids []types.NID
+	byN  map[types.NID]int
+	cfg  Config
+
+	posted     []*Request          // receive queue, post order
+	unexpected []*uexGM            // arrival order
+	sendQ      map[uint32]*Request // rendezvous sends awaiting CTS / completion
+	incoming   map[uint32]*Request // rendezvous receives awaiting data
+	nextSeq    uint32
+}
+
+// Wildcards, mirroring the Portals-based MPI.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// NewComm builds rank's communicator; nids maps rank → node.
+func NewComm(port *Port, rank int, nids []types.NID, cfg Config) *Comm {
+	byN := make(map[types.NID]int, len(nids))
+	for r, n := range nids {
+		byN[n] = r
+	}
+	return &Comm{
+		port: port, rank: rank, size: len(nids), nids: nids, byN: byN,
+		cfg:      cfg.withDefaults(),
+		sendQ:    make(map[uint32]*Request),
+		incoming: make(map[uint32]*Request),
+	}
+}
+
+// Rank and Size report job coordinates.
+func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Size() int { return c.size }
+
+// Port exposes the underlying port (for stats).
+func (c *Comm) Port() *Port { return c.port }
+
+// Isend starts a non-blocking send.
+func (c *Comm) Isend(buf []byte, dst, tag int) (*Request, error) {
+	if dst < 0 || dst >= c.size {
+		return nil, fmt.Errorf("gmsim: rank %d out of range", dst)
+	}
+	req := &Request{c: c, isSend: true, dst: dst, tag: tag, data: buf}
+	if len(buf) <= c.cfg.EagerLimit {
+		// Eager: data goes now; standard-mode send is locally complete.
+		if err := c.port.Send(c.nids[dst], encGM(kindEager, tag, 0, buf, len(buf))); err != nil {
+			return nil, err
+		}
+		req.done = true
+		req.status = Status{Count: len(buf)}
+		return req, nil
+	}
+	// Rendezvous: announce and wait for the receiver's library to grant.
+	// No data can move until BOTH sides have made library calls — the
+	// flat line of Figure 6.
+	req.seq = c.nextSeq
+	c.nextSeq++
+	c.sendQ[req.seq] = req
+	if err := c.port.Send(c.nids[dst], encGM(kindRTS, tag, req.seq, nil, len(buf))); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, fmt.Errorf("gmsim: rank %d out of range", src)
+	}
+	req := &Request{c: c, buf: buf, wantSrc: src, wantTag: tag}
+	c.Progress() // drain NIC buffers so ordering is preserved
+	if rec := c.searchUnexpected(src, tag); rec != nil {
+		c.consume(req, rec)
+		return req, nil
+	}
+	c.posted = append(c.posted, req)
+	return req, nil
+}
+
+func match(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) && (wantTag == AnyTag || wantTag == tag)
+}
+
+func (c *Comm) searchUnexpected(src, tag int) *uexGM {
+	for i, rec := range c.unexpected {
+		if match(src, tag, rec.src, rec.tag) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			return rec
+		}
+	}
+	return nil
+}
+
+func (c *Comm) consume(req *Request, rec *uexGM) {
+	if rec.eager {
+		n := copy(req.buf, rec.data)
+		c.port.CopiedBytes.Add(int64(n)) // the unexpected-eager copy
+		req.done = true
+		req.status = Status{Source: rec.src, Tag: rec.tag, Count: n}
+		return
+	}
+	// Unexpected rendezvous: grant now; data arrives at a later Progress.
+	c.incoming[rec.seq] = req
+	req.wantSrc = rec.src
+	req.wantTag = rec.tag
+	_ = c.port.Send(c.nids[rec.src], encGM(kindCTS, rec.tag, rec.seq, nil, rec.length))
+}
+
+// matchPosted finds (and removes) the oldest posted receive matching an
+// arrival.
+func (c *Comm) matchPosted(src, tag int) *Request {
+	for i, req := range c.posted {
+		if match(req.wantSrc, req.wantTag, src, tag) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// Progress drains the port and advances the protocol. This is the ONLY
+// place receive-side protocol work happens; it runs exclusively inside
+// library calls.
+func (c *Comm) Progress() {
+	for {
+		srcNID, msg, ok := c.port.Receive()
+		if !ok {
+			return
+		}
+		kind, tag, seq, length, payload, err := decGM(msg)
+		if err != nil {
+			continue
+		}
+		src := c.byN[srcNID]
+		switch kind {
+		case kindEager:
+			if req := c.matchPosted(src, tag); req != nil {
+				n := copy(req.buf, payload)
+				c.port.CopiedBytes.Add(int64(n)) // eager copy out of NIC buffer
+				req.done = true
+				req.status = Status{Source: src, Tag: tag, Count: n}
+			} else {
+				c.unexpected = append(c.unexpected, &uexGM{src: src, tag: tag, eager: true, data: payload})
+			}
+		case kindRTS:
+			if req := c.matchPosted(src, tag); req != nil {
+				c.incoming[seq] = req
+				req.wantSrc, req.wantTag = src, tag
+				_ = c.port.Send(c.nids[src], encGM(kindCTS, tag, seq, nil, length))
+			} else {
+				c.unexpected = append(c.unexpected, &uexGM{src: src, tag: tag, seq: seq, length: length})
+			}
+		case kindCTS:
+			if req := c.sendQ[seq]; req != nil {
+				delete(c.sendQ, seq)
+				// gm_directed_send analogue: data straight to the user
+				// buffer on the other side, no bounce copy.
+				_ = c.port.Send(c.nids[req.dst], encGM(kindRData, req.tag, seq, req.data, len(req.data)))
+				req.done = true
+				req.status = Status{Count: len(req.data)}
+			}
+		case kindRData:
+			if req := c.incoming[seq]; req != nil {
+				delete(c.incoming, seq)
+				n := copy(req.buf, payload)
+				req.done = true
+				req.status = Status{Source: req.wantSrc, Tag: tag, Count: n}
+			}
+		}
+	}
+}
+
+// Wait spins on Progress until the request completes — the application
+// must lend its CPU to the protocol.
+func (r *Request) Wait() (Status, error) {
+	for !r.done {
+		r.c.Progress()
+		if !r.done {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return r.status, nil
+}
+
+// Test makes one progress pass and reports completion.
+func (r *Request) Test() (bool, Status) {
+	r.c.Progress()
+	return r.done, r.status
+}
+
+// Send and Recv are the blocking forms.
+func (c *Comm) Send(buf []byte, dst, tag int) error {
+	req, err := c.Isend(buf, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	req, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// Barrier is a linear gather+release through rank 0 — sufficient for the
+// two-node experiments this baseline exists for.
+func (c *Comm) Barrier() error {
+	const barrierTag = 1<<30 | 1
+	token := []byte{1}
+	buf := make([]byte, 1)
+	if c.rank == 0 {
+		for r := 1; r < c.size; r++ {
+			if _, err := c.Recv(buf, r, barrierTag); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.size; r++ {
+			if err := c.Send(token, r, barrierTag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(token, 0, barrierTag); err != nil {
+		return err
+	}
+	_, err := c.Recv(buf, 0, barrierTag)
+	return err
+}
+
+// WaitAll completes a batch of requests.
+func WaitAll(reqs ...*Request) error {
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

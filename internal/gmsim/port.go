@@ -1,0 +1,105 @@
+// Package gmsim is the comparison baseline of §5.3: a GM-like message
+// layer that is OS-bypass but NOT application-bypass, plus an MPI binding
+// with the two-level eager/rendezvous protocol of MPICH/GM 1.2.7.
+//
+// The architectural contrast with Portals, and the whole point of
+// Figure 6, lives in one property: incoming traffic is parked in
+// port-owned buffers (the analogue of GM's DMA receive tokens) and NO
+// protocol processing happens until the application calls into the
+// library (Receive/Progress). A rendezvous handshake therefore advances
+// only inside MPI calls: "MPICH/GM does not make any progress on message
+// passing until we either wait for the messages or make other calls to
+// the MPI library."
+package gmsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Port is a process's attachment to the fabric, GM-style: sends go out
+// immediately (the NIC handles the outbound path), receives accumulate
+// raw until the application polls.
+type Port struct {
+	ep transport.Endpoint
+
+	mu     sync.Mutex
+	inbox  []rawMsg
+	closed bool
+
+	// Stats: copies made by the library on the receive path, and
+	// messages parked awaiting a poll.
+	CopiedBytes atomic.Int64
+	Parked      atomic.Int64
+}
+
+type rawMsg struct {
+	src types.NID
+	msg []byte
+}
+
+// Open attaches a port at nid.
+func Open(net transport.Network, nid types.NID) (*Port, error) {
+	p := &Port{}
+	ep, err := net.Attach(nid, p.onMessage)
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	return p, nil
+}
+
+// onMessage is the "NIC": it parks the message and returns. Nothing else
+// happens until the application polls — this is the no-application-bypass
+// property under test.
+func (p *Port) onMessage(src types.NID, msg []byte) {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	p.mu.Lock()
+	if !p.closed {
+		p.inbox = append(p.inbox, rawMsg{src: src, msg: cp})
+		p.Parked.Add(1)
+	}
+	p.mu.Unlock()
+}
+
+// Send transmits data to dst (gm_send: asynchronous, reliable, ordered).
+func (p *Port) Send(dst types.NID, msg []byte) error {
+	return p.ep.Send(dst, msg)
+}
+
+// Receive polls one parked message (gm_receive). ok is false when the
+// inbox is empty.
+func (p *Port) Receive() (src types.NID, msg []byte, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.inbox) == 0 {
+		return 0, nil, false
+	}
+	m := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	p.Parked.Add(-1)
+	return m.src, m.msg, true
+}
+
+// Pending reports the parked message count without consuming.
+func (p *Port) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inbox)
+}
+
+// LocalNID reports the attached node id.
+func (p *Port) LocalNID() types.NID { return p.ep.LocalNID() }
+
+// Close detaches the port.
+func (p *Port) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.inbox = nil
+	p.mu.Unlock()
+	return p.ep.Close()
+}

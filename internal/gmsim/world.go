@@ -1,0 +1,66 @@
+package gmsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// World is a launched MPI-over-GM job on a raw fabric.
+type World struct {
+	ports []*Port
+	comms []*Comm
+}
+
+// NewWorld attaches n ports (NIDs 1..n) and builds their communicators.
+func NewWorld(net transport.Network, n int, cfg Config) (*World, error) {
+	nids := make([]types.NID, n)
+	for r := range nids {
+		nids[r] = types.NID(r + 1)
+	}
+	w := &World{}
+	for r := 0; r < n; r++ {
+		port, err := Open(net, nids[r])
+		if err != nil {
+			return nil, fmt.Errorf("gmsim: rank %d: %w", r, err)
+		}
+		w.ports = append(w.ports, port)
+		w.comms = append(w.comms, NewComm(port, r, nids, cfg))
+	}
+	return w, nil
+}
+
+// Comm returns rank's communicator.
+func (w *World) Comm(rank int) *Comm { return w.comms[rank] }
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Run executes f concurrently on every rank and returns the first error.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, len(w.comms))
+	var wg sync.WaitGroup
+	for r, c := range w.comms {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			errs[r] = f(c)
+		}(r, c)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Close detaches every port.
+func (w *World) Close() {
+	for _, p := range w.ports {
+		p.Close()
+	}
+}

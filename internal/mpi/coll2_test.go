@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWaitAny(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return c.Send([]byte("second"), 1, 2)
+		}
+		buf1 := make([]byte, 8)
+		buf2 := make([]byte, 8)
+		r1, err := c.Irecv(buf1, 0, 1) // never satisfied
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(buf2, 0, 2)
+		if err != nil {
+			return err
+		}
+		idx, st, err := WaitAny(r1, r2)
+		if err != nil {
+			return err
+		}
+		if idx != 1 || st.Tag != 2 || string(buf2[:st.Count]) != "second" {
+			return fmt.Errorf("WaitAny = %d %+v %q", idx, st, buf2[:st.Count])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAnySkipsNil(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send([]byte{1}, 1, 0)
+		}
+		buf := make([]byte, 1)
+		r, err := c.Irecv(buf, 0, 0)
+		if err != nil {
+			return err
+		}
+		idx, _, err := WaitAny(nil, r, nil)
+		if err != nil {
+			return err
+		}
+		if idx != 1 {
+			return fmt.Errorf("idx = %d", idx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := WaitAny(nil, nil); err == nil {
+		t.Error("WaitAny(nil, nil) succeeded")
+	}
+}
+
+func TestScan(t *testing.T) {
+	for _, n := range []int{2, 4, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := world(t, n)
+			err := w.Run(func(c *Comm) error {
+				vec := []float64{float64(c.Rank() + 1)}
+				if err := c.Scan(vec, Sum); err != nil {
+					return err
+				}
+				// Inclusive prefix sum of 1..rank+1.
+				want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+				if vec[0] != want {
+					return fmt.Errorf("rank %d scan = %v, want %v", c.Rank(), vec[0], want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := world(t, n)
+			err := w.Run(func(c *Comm) error {
+				block := []byte{byte(c.Rank()), byte(c.Rank() * 3)}
+				out := make([]byte, 2*n)
+				if err := c.Allgather(block, out); err != nil {
+					return err
+				}
+				want := make([]byte, 0, 2*n)
+				for r := 0; r < n; r++ {
+					want = append(want, byte(r), byte(r*3))
+				}
+				if !bytes.Equal(out, want) {
+					return fmt.Errorf("rank %d allgather = %v, want %v", c.Rank(), out, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllgatherTooSmall(t *testing.T) {
+	w := world(t, 2)
+	if err := w.Comm(0).Allgather(make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Error("small out buffer accepted")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, n := range []int{2, 4, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := world(t, n)
+			err := w.Run(func(c *Comm) error {
+				var in []byte
+				if c.Rank() == 1%n {
+					in = make([]byte, 2*n)
+					for r := 0; r < n; r++ {
+						in[2*r], in[2*r+1] = byte(r), byte(r*7)
+					}
+				}
+				block := make([]byte, 2)
+				if err := c.Scatter(in, block, 1%n); err != nil {
+					return err
+				}
+				if block[0] != byte(c.Rank()) || block[1] != byte(c.Rank()*7) {
+					return fmt.Errorf("rank %d scatter = %v", c.Rank(), block)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestScatterTooSmall(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Scatter(make([]byte, 2), make([]byte, 2), 0); err == nil {
+			return fmt.Errorf("small scatter buffer accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

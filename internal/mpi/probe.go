@@ -1,0 +1,81 @@
+package mpi
+
+import (
+	"time"
+)
+
+// Iprobe reports whether a message matching (src, tag) could be received
+// now, without receiving it (MPI_Iprobe). The returned status describes
+// the oldest matching message. Wildcards are allowed.
+//
+// Like every probe in a library with hardware matching, this inspects
+// only the library-visible unexpected queue after a progress pass: a
+// message that would match a PRE-POSTED receive never becomes probeable,
+// because it is consumed in hardware — the same behaviour real
+// Portals-based MPIs exhibit.
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	if src != AnySource {
+		if err := c.checkPeer(src, "source"); err != nil {
+			return false, Status{}, err
+		}
+	}
+	c.drain()
+	if c.fatalErr != nil {
+		return false, Status{}, c.fatalErr
+	}
+	for _, rec := range c.unexpected {
+		if envelopeMatches(src, tag, rec.src, rec.tag) {
+			st := Status{Source: rec.src, Tag: rec.tag, Count: len(rec.data)}
+			if rec.long && !rec.dataReady {
+				// Envelope-only record: the data length is not yet local.
+				// Real MPIs store the RTS length; our long puts carry the
+				// full data whose length the overflow event reported —
+				// but the truncated-to-zero record kept only the
+				// envelope. Report count -1 ("unknown until received").
+				st.Count = -1
+			}
+			return true, st, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// Probe blocks until a matching message is available (MPI_Probe).
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	for {
+		ok, st, err := c.Iprobe(src, tag)
+		if err != nil {
+			return Status{}, err
+		}
+		if ok {
+			return st, nil
+		}
+		// Block for the next event rather than spinning.
+		ev, err := c.ni.EQPoll(c.eq, 200*time.Microsecond)
+		if err == nil {
+			c.handle(ev)
+		}
+	}
+}
+
+// Ssend is a synchronous-mode send (MPI_Ssend): it completes only after
+// the matching receive has started consuming the message.
+func (c *Comm) Ssend(buf []byte, dst, tag int) error {
+	req, err := c.Issend(buf, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Issend starts a non-blocking synchronous-mode send. It always uses the
+// long protocol, whose completion is inherently match-driven: a
+// pre-posted receive consumes the put directly (full-length ack), and an
+// unexpected arrival completes only when the eventual receive fetches
+// the data with a get — exactly MPI's "matching receive has started"
+// condition. An eager ack would NOT work here: it also fires when the
+// message lands in overflow space, before any receive exists.
+func (c *Comm) Issend(buf []byte, dst, tag int) (*Request, error) {
+	return c.isendLong(buf, dst, tag)
+}

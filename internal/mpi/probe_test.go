@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/portals"
+)
+
+func TestIprobeSeesUnexpected(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send([]byte("probe me"), 1, 6)
+		}
+		// Wait for the message to land unexpected.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ok, st, err := c.Iprobe(0, 6)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if st.Source != 0 || st.Tag != 6 || st.Count != 8 {
+					return fmt.Errorf("probe status %+v", st)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("probe never saw the message")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Probing does not consume: probing again still matches, and the
+		// receive still gets the data.
+		if ok, _, err := c.Iprobe(0, 6); err != nil || !ok {
+			return fmt.Errorf("second probe ok=%v err=%v", ok, err)
+		}
+		buf := make([]byte, 16)
+		st, err := c.Recv(buf, 0, 6)
+		if err != nil {
+			return err
+		}
+		if string(buf[:st.Count]) != "probe me" {
+			return fmt.Errorf("recv after probe: %q", buf[:st.Count])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeNoMatch(t *testing.T) {
+	w := world(t, 2)
+	c := w.Comm(1)
+	ok, _, err := c.Iprobe(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("probe matched on empty queue")
+	}
+	if _, _, err := c.Iprobe(7, 0); err == nil {
+		t.Error("probe accepted bad source rank")
+	}
+}
+
+func TestProbeBlocksUntilArrival(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(30 * time.Millisecond)
+			return c.Send([]byte{0xAB}, 1, 2)
+		}
+		st, err := c.Probe(AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 2 {
+			return fmt.Errorf("probe status %+v", st)
+		}
+		buf := make([]byte, 1)
+		if _, err := c.Recv(buf, st.Source, st.Tag); err != nil {
+			return err
+		}
+		if buf[0] != 0xAB {
+			return fmt.Errorf("data %x", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeLongEnvelopeOnly(t *testing.T) {
+	w := worldOn(t, portals.Loopback(), 2, Config{EagerLimit: 64})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(make([]byte, 4096), 1, 3)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ok, st, err := c.Iprobe(0, 3)
+			if err != nil {
+				return err
+			}
+			if ok {
+				// Long unexpected records are envelope-only: count -1.
+				if st.Count != -1 {
+					return fmt.Errorf("long probe count = %d, want -1", st.Count)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("probe never matched")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		buf := make([]byte, 4096)
+		st, err := c.Recv(buf, 0, 3)
+		if err != nil {
+			return err
+		}
+		if st.Count != 4096 {
+			return fmt.Errorf("recv count %d", st.Count)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Synchronous-mode semantics: an Ssend must NOT complete while the
+// message sits unexpected; it completes once the receive is posted.
+func TestSsendWaitsForMatch(t *testing.T) {
+	w := world(t, 2)
+	posted := make(chan struct{})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Issend([]byte("sync"), 1, 4)
+			if err != nil {
+				return err
+			}
+			// Drive progress without completing: the receiver hasn't
+			// posted yet.
+			for i := 0; i < 50; i++ {
+				done, _, err := req.Test()
+				if err != nil {
+					return err
+				}
+				if done {
+					select {
+					case <-posted:
+						// Receiver got there first; fine.
+						_, err = req.Wait()
+						return err
+					default:
+						return fmt.Errorf("Ssend completed before any receive was posted")
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+			_, err = req.Wait()
+			return err
+		}
+		time.Sleep(80 * time.Millisecond) // hold off posting
+		buf := make([]byte, 8)
+		req, err := c.Irecv(buf, 0, 4)
+		if err != nil {
+			return err
+		}
+		close(posted)
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(buf[:st.Count]) != "sync" {
+			return fmt.Errorf("got %q", buf[:st.Count])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSsendPrePosted(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			buf := make([]byte, 8)
+			st, err := c.Recv(buf, 0, 1)
+			if err != nil {
+				return err
+			}
+			if string(buf[:st.Count]) != "direct" {
+				return fmt.Errorf("got %q", buf[:st.Count])
+			}
+			return nil
+		}
+		time.Sleep(30 * time.Millisecond) // let the receive pre-post
+		return c.Ssend([]byte("direct"), 1, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/portals"
+)
+
+// World is a launched MPI job: n ranks with communicators over a Machine.
+// It plays the part of the Cplant parallel runtime (§2: "protocols
+// between the components of the parallel runtime environment").
+type World struct {
+	machine *portals.Machine
+	comms   []*Comm
+}
+
+// NewWorld launches n processes on the machine (one per node) and builds
+// their world communicators.
+func NewWorld(m *portals.Machine, n int, cfg Config) (*World, error) {
+	nis, err := m.LaunchJob(n)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]portals.ProcessID, n)
+	for r, ni := range nis {
+		ids[r] = ni.ID()
+	}
+	w := &World{machine: m, comms: make([]*Comm, n)}
+	for r, ni := range nis {
+		c, err := New(ni, r, ids, 1, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+		w.comms[r] = c
+	}
+	return w, nil
+}
+
+// Comm returns rank's communicator.
+func (w *World) Comm(rank int) *Comm { return w.comms[rank] }
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Run executes f concurrently on every rank (one goroutine per rank, the
+// in-process analogue of one process per node) and returns the first
+// error.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, len(w.comms))
+	var wg sync.WaitGroup
+	for r, c := range w.comms {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			errs[r] = f(c)
+		}(r, c)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package nicsim models the network interface of a node: the component
+// that receives wire messages from a transport, routes them to the right
+// process, and runs the Portals delivery engine on them.
+//
+// The delivery engine runs on the transport's delivery goroutine — never
+// on an application goroutine. That is the architectural property the
+// paper calls application bypass (§5.1): "the fundamental concept of
+// Portals is to decouple the host processor from the network and allow
+// data to flow with virtually no application processing."
+//
+// Two processing models are provided (§5.3 discusses both):
+//
+//   - NICOffload: the engine stands in for the Myrinet control program
+//     running on the LANai — message processing costs the host nothing.
+//   - HostInterrupt: "the particular implementation of Portals 3.0 that we
+//     used for the above experiment is interrupt-driven" — each incoming
+//     message charges the host an interrupt: it is counted, and an
+//     optional per-message cost is burned before processing.
+//
+// Either way progress is independent of the application, which is why the
+// Portals curve in Figure 6 falls with the work interval under both models.
+package nicsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Model selects where protocol processing happens.
+type Model uint8
+
+const (
+	// NICOffload processes messages entirely "on the NIC".
+	NICOffload Model = iota
+	// HostInterrupt charges the host one interrupt per incoming message.
+	HostInterrupt
+)
+
+// Config tunes a node's interface.
+type Config struct {
+	Model Model
+	// InterruptCost is burned per message under HostInterrupt, modeling
+	// interrupt entry/exit and cache disturbance (§5.1: "the interrupt
+	// latency ... is fairly significant").
+	InterruptCost time.Duration
+}
+
+// Node is one machine on the fabric: a transport endpoint plus the set of
+// local processes (§2: Portals "support multiple communicating processes
+// per node").
+type Node struct {
+	nid      types.NID
+	ep       transport.Endpoint
+	cfg      Config
+	counters stats.Counters // node-level: bad-target drops, interrupts
+
+	mu     sync.Mutex
+	procs  map[types.PID]*core.State
+	closed bool
+}
+
+// NewNode attaches a node to a fabric.
+func NewNode(net transport.Network, nid types.NID, cfg Config) (*Node, error) {
+	n := &Node{nid: nid, cfg: cfg, procs: make(map[types.PID]*core.State)}
+	ep, err := net.Attach(nid, n.onMessage)
+	if err != nil {
+		return nil, err
+	}
+	n.ep = ep
+	return n, nil
+}
+
+// NID reports the node id.
+func (n *Node) NID() types.NID { return n.nid }
+
+// Counters exposes node-level counters (bad-target drops, interrupts).
+func (n *Node) Counters() *stats.Counters { return &n.counters }
+
+// AddProcess registers a process's Portals state under its PID.
+func (n *Node) AddProcess(pid types.PID, s *core.State) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return types.ErrClosed
+	}
+	if _, dup := n.procs[pid]; dup {
+		return fmt.Errorf("nicsim: pid %d already registered on nid %d", pid, n.nid)
+	}
+	n.procs[pid] = s
+	return nil
+}
+
+// RemoveProcess deregisters a process; subsequent messages for it are
+// dropped with the bad-target reason (§4.8's first check).
+func (n *Node) RemoveProcess(pid types.PID) {
+	n.mu.Lock()
+	delete(n.procs, pid)
+	n.mu.Unlock()
+}
+
+// lookup finds the state for a local PID.
+func (n *Node) lookup(pid types.PID) *core.State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.procs[pid]
+}
+
+// Send transmits an initiator-side or engine-generated message.
+func (n *Node) Send(out core.Outbound) error {
+	return n.ep.Send(out.Dst.NID, out.Msg)
+}
+
+// onMessage is the delivery engine: it runs on the transport goroutine.
+func (n *Node) onMessage(src types.NID, msg []byte) {
+	h, payload, err := wire.DecodeMessage(msg)
+	if err != nil {
+		// Undecodable traffic: no valid target, count at node level.
+		n.counters.Drop(types.DropBadTarget)
+		return
+	}
+	// §4.8: "the runtime system first checks that the target process
+	// identified in the request is a valid process that has initialized
+	// the network interface."
+	state := n.lookup(h.Target.PID)
+	if state == nil || h.Target.NID != n.nid {
+		n.counters.Drop(types.DropBadTarget)
+		return
+	}
+	if n.cfg.Model == HostInterrupt {
+		n.counters.Interrupt()
+		state.Counters().Interrupt()
+		if n.cfg.InterruptCost > 0 {
+			burn(n.cfg.InterruptCost)
+		}
+	}
+	for _, out := range state.HandleIncoming(&h, payload) {
+		if err := n.Send(out); err != nil {
+			// A response that cannot be transmitted is dropped silently,
+			// like an ack on a failed link; the initiator's protocol
+			// copes (Portals acks are advisory).
+			continue
+		}
+	}
+}
+
+// Close detaches the node. Process states are not closed — they belong to
+// their owners.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.procs = map[types.PID]*core.State{}
+	n.mu.Unlock()
+	return n.ep.Close()
+}
+
+// burn busy-waits for roughly d, modeling time the host CPU is stolen from
+// the application. A sleep would yield the CPU (wrong model: interrupts
+// steal cycles); for very short costs the loop granularity dominates, as
+// on real hardware.
+func burn(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

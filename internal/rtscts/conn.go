@@ -1,0 +1,183 @@
+package rtscts
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// Config tunes the reliability layer.
+type Config struct {
+	// Window is the Go-Back-N window in packets per destination.
+	Window int
+	// RTO is the retransmission timeout. It must exceed the fabric's
+	// round-trip time comfortably.
+	RTO time.Duration
+	// EagerMax is the largest message sent eagerly; longer messages
+	// perform RTS/CTS rendezvous first. Zero selects the default (32 KB,
+	// mirroring Cplant's long-message threshold order of magnitude).
+	EagerMax int
+}
+
+// DefaultConfig matches the Myrinet-class fabric presets.
+func DefaultConfig() Config {
+	return Config{Window: 64, RTO: 10 * time.Millisecond, EagerMax: 32 * 1024}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.RTO <= 0 {
+		c.RTO = 10 * time.Millisecond
+	}
+	if c.EagerMax <= 0 {
+		c.EagerMax = 32 * 1024
+	}
+	return c
+}
+
+// Stats counts protocol events, for tests and the bandwidth experiments.
+type Stats struct {
+	Retransmits   atomic.Int64
+	DupsDiscarded atomic.Int64
+	OutOfOrder    atomic.Int64
+	RTSSent       atomic.Int64
+	CTSSent       atomic.Int64
+	AcksSent      atomic.Int64
+	MsgsDelivered atomic.Int64
+}
+
+// Conn is a node's reliable attachment: it implements transport.Endpoint
+// over a simnet endpoint.
+type Conn struct {
+	cfg     Config
+	ep      *simnet.Endpoint
+	handler transport.Handler
+	mtu     int
+	stats   Stats
+
+	mu        sync.Mutex
+	senders   map[types.NID]*peerSender
+	receivers map[types.NID]*peerReceiver
+	closed    bool
+}
+
+// Attach registers nid on the fabric with reliability on top. The handler
+// receives complete, exactly-once, in-order messages.
+func Attach(net *simnet.Network, nid types.NID, cfg Config, h transport.Handler) (*Conn, error) {
+	if h == nil {
+		return nil, fmt.Errorf("rtscts: nil handler")
+	}
+	c := &Conn{
+		cfg:       cfg.withDefaults(),
+		handler:   h,
+		mtu:       net.MTU(),
+		senders:   make(map[types.NID]*peerSender),
+		receivers: make(map[types.NID]*peerReceiver),
+	}
+	if c.mtu <= pktHeaderSize {
+		return nil, fmt.Errorf("rtscts: fabric MTU %d too small for %d-byte headers", c.mtu, pktHeaderSize)
+	}
+	ep, err := net.Attach(nid, c.onPacket)
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	return c, nil
+}
+
+// Stats exposes the protocol counters.
+func (c *Conn) Stats() *Stats { return &c.stats }
+
+// LocalNID reports the attached node id.
+func (c *Conn) LocalNID() types.NID { return c.ep.LocalNID() }
+
+// Send queues msg for reliable in-order delivery to dst. It returns once
+// the message is accepted by the per-peer sender (local completion); the
+// reliability machinery retransmits as needed. Send never blocks on the
+// network, so it is safe to call from delivery handlers (the engine
+// emitting acks/replies).
+func (c *Conn) Send(dst types.NID, msg []byte) error {
+	s, err := c.sender(dst)
+	if err != nil {
+		return err
+	}
+	return s.enqueue(msg)
+}
+
+// Close detaches from the fabric and stops all per-peer machinery.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	senders := make([]*peerSender, 0, len(c.senders))
+	for _, s := range c.senders {
+		senders = append(senders, s)
+	}
+	c.mu.Unlock()
+	for _, s := range senders {
+		s.shutdown()
+	}
+	return c.ep.Close()
+}
+
+func (c *Conn) sender(dst types.NID) (*peerSender, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, types.ErrClosed
+	}
+	s, ok := c.senders[dst]
+	if !ok {
+		s = newPeerSender(c, dst)
+		c.senders[dst] = s
+	}
+	return s, nil
+}
+
+func (c *Conn) receiver(src types.NID) *peerReceiver {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	r, ok := c.receivers[src]
+	if !ok {
+		r = &peerReceiver{}
+		c.receivers[src] = r
+	}
+	return r
+}
+
+// onPacket is the fabric-side entry point; it runs on simnet delivery
+// goroutines.
+func (c *Conn) onPacket(src types.NID, pkt []byte) {
+	kind, flags, seq, aux, payload, err := decodePacket(pkt)
+	if err != nil {
+		return // corrupted/foreign packet: drop silently, like hardware
+	}
+	switch kind {
+	case pktAck:
+		c.mu.Lock()
+		s := c.senders[src]
+		c.mu.Unlock()
+		if s != nil {
+			s.onAck(seq)
+		}
+	case pktData:
+		r := c.receiver(src)
+		if r == nil {
+			return
+		}
+		c.onData(src, r, flags, seq, aux, payload)
+	}
+}

@@ -1,0 +1,75 @@
+// Package rtscts turns the unreliable simnet packet fabric into the
+// reliable, ordered, connectionless message service Portals requires. It
+// is the Go analogue of the Cplant RTS/CTS kernel module of §3, which
+// "is responsible for packetization and flow control" between the Portals
+// module and the Myrinet control program.
+//
+// The layer provides, per ordered node pair:
+//
+//   - packetization of messages to the fabric MTU;
+//   - a Go-Back-N sliding window with cumulative acknowledgments and
+//     timeout retransmission (exactly-once, in-order packet stream);
+//   - message framing on top of the packet stream;
+//   - RTS/CTS rendezvous flow control: a message larger than the eager
+//     threshold first sends a request-to-send and waits for a
+//     clear-to-send grant before streaming data, so a receiver is never
+//     forced to absorb an unannounced bulk transfer.
+//
+// Per-pair state is created lazily on first communication; the interface
+// presented upward stays connectionless (§4.1).
+package rtscts
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet kinds on the fabric.
+const (
+	pktData uint8 = 1 // carries a message fragment, sequenced
+	pktAck  uint8 = 2 // cumulative acknowledgment, unsequenced
+)
+
+// Fragment flags.
+const (
+	flagFirst uint8 = 1 << 0 // first fragment: aux holds the message length
+)
+
+// Message kinds carried in the first fragment's flags (bits 2..3).
+const (
+	msgApp uint8 = 0 // application message, delivered to the handler
+	msgRTS uint8 = 1 // request to send (rendezvous start), aux = length
+	msgCTS uint8 = 2 // clear to send (rendezvous grant)
+)
+
+const msgKindShift = 2
+
+// pktHeaderSize is the per-packet overhead added by this layer.
+const pktHeaderSize = 20
+
+// encodePacket builds header+payload into a fresh buffer.
+func encodePacket(kind, flags uint8, seq, aux uint64, payload []byte) []byte {
+	buf := make([]byte, pktHeaderSize+len(payload))
+	buf[0] = kind
+	buf[1] = flags
+	binary.BigEndian.PutUint64(buf[4:], seq)
+	binary.BigEndian.PutUint64(buf[12:], aux)
+	copy(buf[pktHeaderSize:], payload)
+	return buf
+}
+
+func decodePacket(pkt []byte) (kind, flags uint8, seq, aux uint64, payload []byte, err error) {
+	if len(pkt) < pktHeaderSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("rtscts: short packet (%d bytes)", len(pkt))
+	}
+	kind = pkt[0]
+	if kind != pktData && kind != pktAck {
+		return 0, 0, 0, 0, nil, fmt.Errorf("rtscts: unknown packet kind %d", kind)
+	}
+	flags = pkt[1]
+	seq = binary.BigEndian.Uint64(pkt[4:])
+	aux = binary.BigEndian.Uint64(pkt[12:])
+	return kind, flags, seq, aux, pkt[pktHeaderSize:], nil
+}
+
+func msgKind(flags uint8) uint8 { return (flags >> msgKindShift) & 0x3 }

@@ -1,0 +1,33 @@
+package rtscts
+
+import (
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// Network adapts a simnet fabric plus this reliability layer to the
+// generic transport.Network interface, so the Portals runtime can run the
+// full Myrinet-analogue stack (simnet → rtscts → Portals) wherever it
+// would use loopback or TCP.
+type Network struct {
+	sim *simnet.Network
+	cfg Config
+}
+
+// NewNetwork wraps an existing fabric. The fabric's lifetime is owned by
+// the returned Network: closing it closes the fabric.
+func NewNetwork(sim *simnet.Network, cfg Config) *Network {
+	return &Network{sim: sim, cfg: cfg}
+}
+
+// Sim exposes the underlying fabric (for fault-injection stats in tests).
+func (n *Network) Sim() *simnet.Network { return n.sim }
+
+// Attach registers a node with reliability on top of the fabric.
+func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint, error) {
+	return Attach(n.sim, nid, n.cfg, h)
+}
+
+// Close tears down the fabric.
+func (n *Network) Close() error { return n.sim.Close() }

@@ -1,0 +1,123 @@
+package rtscts
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// Wire-format properties of the reliability layer's packet header.
+
+func TestPacketHeaderRoundTripProperty(t *testing.T) {
+	f := func(kindSel bool, flags uint8, seq, aux uint64, payload []byte) bool {
+		kind := pktData
+		if kindSel {
+			kind = pktAck
+		}
+		pkt := encodePacket(kind, flags, seq, aux, payload)
+		k, fl, s, a, p, err := decodePacket(pkt)
+		if err != nil {
+			return false
+		}
+		return k == kind && fl == flags && s == seq && a == aux && bytes.Equal(p, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketDecodeRejectsGarbage(t *testing.T) {
+	if _, _, _, _, _, err := decodePacket([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+	bad := encodePacket(pktData, 0, 0, 0, nil)
+	bad[0] = 99
+	if _, _, _, _, _, err := decodePacket(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMsgKindEncoding(t *testing.T) {
+	for _, k := range []uint8{msgApp, msgRTS, msgCTS} {
+		flags := flagFirst | k<<msgKindShift
+		if msgKind(flags) != k {
+			t.Errorf("kind %d round trip = %d", k, msgKind(flags))
+		}
+	}
+}
+
+// Property: any message stream pushed through a lossy+duplicating+
+// reordering fabric arrives exactly once, in order, bit-identical.
+// This is the layer's entire contract, checked end to end with
+// randomized message shapes.
+func TestExactlyOnceDeliveryProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress property skipped in -short")
+	}
+	for _, seed := range []int64{3, 17} {
+		seed := seed
+		t.Run(fmt.Sprint("seed=", seed), func(t *testing.T) {
+			cfg := simnet.Config{
+				MTU: 512, LossRate: 0.1, DupRate: 0.1, ReorderRate: 0.1, Seed: seed,
+			}
+			a, _, _, sb, _ := pairOn(t, cfg, Config{RTO: 15 * time.Millisecond, EagerMax: 1024, Window: 16})
+			// Message sizes chosen to hit: empty, sub-fragment, exact
+			// fragment boundary, multi-fragment eager, rendezvous.
+			sizes := []int{0, 1, 492, 493, 900, 1024, 1025, 5000, 20000}
+			var want [][]byte
+			for i, size := range sizes {
+				msg := make([]byte, size)
+				for j := range msg {
+					msg[j] = byte(i*37 + j)
+				}
+				want = append(want, msg)
+				if err := a.Send(2, msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitFor(t, 60*time.Second, func() bool { return sb.count() == len(want) })
+			for i := range want {
+				if !bytes.Equal(sb.get(i), want[i]) {
+					t.Fatalf("message %d (size %d) corrupted or reordered", i, len(want[i]))
+				}
+			}
+		})
+	}
+}
+
+// The eager threshold is a boundary worth pinning exactly: EagerMax bytes
+// go eagerly, EagerMax+1 performs rendezvous.
+func TestEagerBoundaryExact(t *testing.T) {
+	a, b, _, sb, _ := pairOn(t, simnet.Instant(), Config{EagerMax: 777})
+	if err := a.Send(2, make([]byte, 777)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return sb.count() == 1 })
+	if a.Stats().RTSSent.Load() != 0 {
+		t.Error("EagerMax-sized message used rendezvous")
+	}
+	if err := a.Send(2, make([]byte, 778)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return sb.count() == 2 })
+	if a.Stats().RTSSent.Load() != 1 {
+		t.Error("EagerMax+1 message did not use rendezvous")
+	}
+	if b.Stats().CTSSent.Load() != 1 {
+		t.Error("no CTS granted")
+	}
+}
+
+// Conn attach over too-small MTU must fail loudly, not truncate silently.
+func TestMTUTooSmall(t *testing.T) {
+	net := simnet.New(simnet.Config{MTU: pktHeaderSize})
+	defer net.Close()
+	if _, err := Attach(net, 1, Config{}, func(types.NID, []byte) {}); err == nil {
+		t.Error("attach accepted MTU with no payload room")
+	}
+}

@@ -1,0 +1,104 @@
+package rtscts
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// peerReceiver holds the in-order reception state for one source: the
+// expected sequence number and the current message reassembly.
+type peerReceiver struct {
+	mu       sync.Mutex
+	expected uint64
+
+	// Reassembly of the in-progress message. Fragments of one message are
+	// contiguous on the stream (the sender serializes them), so a single
+	// buffer suffices.
+	asmKind  uint8
+	asmTotal uint64
+	asmBuf   []byte
+	asmOpen  bool
+}
+
+// onData processes one sequenced fragment per Go-Back-N: accept exactly
+// the expected sequence, acknowledge cumulatively, discard everything
+// else (duplicates and out-of-order packets trigger a duplicate ack that
+// speeds sender recovery).
+func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint64, payload []byte) {
+	r.mu.Lock()
+	if seq != r.expected {
+		if seq < r.expected {
+			c.stats.DupsDiscarded.Add(1)
+		} else {
+			c.stats.OutOfOrder.Add(1)
+		}
+		ack := r.expected
+		r.mu.Unlock()
+		c.sendAck(src, ack)
+		return
+	}
+	r.expected++
+
+	// In-order fragment: feed reassembly.
+	var complete []struct {
+		kind uint8
+		msg  []byte
+	}
+	if flags&flagFirst != 0 {
+		r.asmKind = msgKind(flags)
+		r.asmTotal = aux
+		r.asmBuf = r.asmBuf[:0]
+		r.asmOpen = true
+	}
+	if r.asmOpen {
+		r.asmBuf = append(r.asmBuf, payload...)
+		if uint64(len(r.asmBuf)) >= r.asmTotal {
+			msg := make([]byte, r.asmTotal)
+			copy(msg, r.asmBuf[:r.asmTotal])
+			complete = append(complete, struct {
+				kind uint8
+				msg  []byte
+			}{r.asmKind, msg})
+			r.asmOpen = false
+		}
+	}
+	ack := r.expected
+	r.mu.Unlock()
+
+	c.sendAck(src, ack)
+
+	for _, m := range complete {
+		switch m.kind {
+		case msgApp:
+			c.stats.MsgsDelivered.Add(1)
+			c.handler(src, m.msg)
+		case msgRTS:
+			// Rendezvous announcement: grant immediately. A production
+			// implementation would check receive-buffer budget here; the
+			// protocol cost (the extra round trip) is what we model.
+			if len(m.msg) == 8 {
+				_ = binary.BigEndian.Uint64(m.msg) // announced length
+			}
+			if s, err := c.sender(src); err == nil {
+				s.sendCTS()
+			}
+		case msgCTS:
+			c.mu.Lock()
+			s := c.senders[src]
+			c.mu.Unlock()
+			if s != nil {
+				s.grantReceived()
+			}
+		}
+	}
+}
+
+// sendAck transmits a cumulative acknowledgment. Acks are unsequenced and
+// unreliable; a lost ack is repaired by the next one or by retransmission.
+func (c *Conn) sendAck(dst types.NID, cumAck uint64) {
+	c.stats.AcksSent.Add(1)
+	pkt := encodePacket(pktAck, 0, cumAck, 0, nil)
+	_ = c.ep.SendPacket(dst, pkt)
+}

@@ -1,0 +1,241 @@
+package rtscts
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// peerSender owns the reliable stream toward one destination: the message
+// queue, the Go-Back-N window, and the retransmission timer.
+type peerSender struct {
+	c   *Conn
+	dst types.NID
+
+	// Message queue, drained by the run goroutine. Unbounded so Send never
+	// blocks (local completion = accepted here).
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  [][]byte
+	closed bool
+
+	// txMu serializes fragment emission so fragments of different
+	// messages never interleave on the stream (the receiver reassembles
+	// one message at a time). The CTS fast path takes it briefly.
+	txMu sync.Mutex
+
+	// Window state, guarded by wmu.
+	wmu      sync.Mutex
+	wcond    *sync.Cond
+	nextSeq  uint64
+	base     uint64   // lowest unacked sequence
+	inFlight [][]byte // encoded packets [base, nextSeq), for retransmission
+	lastSend time.Time
+
+	// Rendezvous: grants arrive from the receive path.
+	ctsCh chan struct{}
+
+	done chan struct{}
+}
+
+func newPeerSender(c *Conn, dst types.NID) *peerSender {
+	s := &peerSender{c: c, dst: dst, ctsCh: make(chan struct{}, 4), done: make(chan struct{})}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.wcond = sync.NewCond(&s.wmu)
+	go s.run()
+	go s.retransmitLoop()
+	return s
+}
+
+func (s *peerSender) enqueue(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return types.ErrClosed
+	}
+	s.queue = append(s.queue, cp)
+	s.qmu.Unlock()
+	s.qcond.Signal()
+	return nil
+}
+
+func (s *peerSender) shutdown() {
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	s.qmu.Unlock()
+	s.qcond.Broadcast()
+	s.wmu.Lock()
+	s.wcond.Broadcast()
+	s.wmu.Unlock()
+	close(s.done)
+}
+
+func (s *peerSender) isClosed() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.closed
+}
+
+// run drains the message queue in FIFO order, performing rendezvous for
+// messages beyond the eager threshold. FIFO draining is what gives Portals
+// its ordered-delivery guarantee across eager and rendezvous messages.
+func (s *peerSender) run() {
+	for {
+		s.qmu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.qcond.Wait()
+		}
+		if s.closed {
+			s.qmu.Unlock()
+			return
+		}
+		msg := s.queue[0]
+		s.queue = s.queue[1:]
+		s.qmu.Unlock()
+
+		if len(msg) > s.c.cfg.EagerMax {
+			// Rendezvous: announce, then wait for the grant. The stream
+			// stays open for control traffic (our CTS grants to the peer
+			// take the txMu fast path), but no later message overtakes.
+			var lenBuf [8]byte
+			binary.BigEndian.PutUint64(lenBuf[:], uint64(len(msg)))
+			s.sendMessage(msgRTS, lenBuf[:])
+			s.c.stats.RTSSent.Add(1)
+			select {
+			case <-s.ctsCh:
+			case <-s.done:
+				return
+			}
+		}
+		s.sendMessage(msgApp, msg)
+	}
+}
+
+// grantReceived is called by the receive path when a CTS arrives.
+func (s *peerSender) grantReceived() {
+	select {
+	case s.ctsCh <- struct{}{}:
+	default: // protocol error (spurious CTS); ignore
+	}
+}
+
+// sendCTS emits a grant from the receive path. It must not wait behind
+// queued application messages (that would deadlock two nodes doing
+// simultaneous rendezvous), hence the direct txMu path.
+func (s *peerSender) sendCTS() {
+	s.sendMessage(msgCTS, nil)
+	s.c.stats.CTSSent.Add(1)
+}
+
+// sendMessage fragments one message onto the reliable stream.
+func (s *peerSender) sendMessage(kind uint8, payload []byte) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	frag := s.c.mtu - pktHeaderSize
+	total := uint64(len(payload))
+	first := true
+	rest := payload
+	for {
+		n := len(rest)
+		if n > frag {
+			n = frag
+		}
+		var flags uint8
+		var aux uint64
+		if first {
+			flags = flagFirst | kind<<msgKindShift
+			aux = total
+		}
+		s.sendReliable(flags, aux, rest[:n])
+		rest = rest[n:]
+		first = false
+		if len(rest) == 0 {
+			break
+		}
+	}
+}
+
+// sendReliable assigns the next sequence number, records the packet for
+// retransmission, and transmits it, blocking while the window is full.
+func (s *peerSender) sendReliable(flags uint8, aux uint64, payload []byte) {
+	s.wmu.Lock()
+	for s.nextSeq-s.base >= uint64(s.c.cfg.Window) && !s.isClosedFast() {
+		s.wcond.Wait()
+	}
+	if s.isClosedFast() {
+		s.wmu.Unlock()
+		return
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	pkt := encodePacket(pktData, flags, seq, aux, payload)
+	s.inFlight = append(s.inFlight, pkt)
+	s.lastSend = time.Now()
+	s.wmu.Unlock()
+
+	_ = s.c.ep.SendPacket(s.dst, pkt) // loss is the retransmit loop's job
+}
+
+// isClosedFast avoids the queue lock inside window waits.
+func (s *peerSender) isClosedFast() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// onAck processes a cumulative acknowledgment: everything below cumAck is
+// delivered; release window space.
+func (s *peerSender) onAck(cumAck uint64) {
+	s.wmu.Lock()
+	if cumAck > s.base {
+		n := cumAck - s.base
+		if n > uint64(len(s.inFlight)) {
+			n = uint64(len(s.inFlight))
+		}
+		s.inFlight = s.inFlight[n:]
+		s.base += n
+		s.lastSend = time.Now()
+		s.wmu.Unlock()
+		s.wcond.Broadcast()
+		return
+	}
+	s.wmu.Unlock()
+}
+
+// retransmitLoop implements Go-Back-N recovery: if the window has been
+// stuck for an RTO, resend everything outstanding.
+func (s *peerSender) retransmitLoop() {
+	tick := time.NewTicker(s.c.cfg.RTO / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+		s.wmu.Lock()
+		stuck := len(s.inFlight) > 0 && time.Since(s.lastSend) >= s.c.cfg.RTO
+		var resend [][]byte
+		if stuck {
+			resend = append(resend, s.inFlight...)
+			s.lastSend = time.Now()
+		}
+		s.wmu.Unlock()
+		for _, pkt := range resend {
+			s.c.stats.Retransmits.Add(1)
+			_ = s.c.ep.SendPacket(s.dst, pkt)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package shmem is a one-sided put/get layer in the style of Cray SHMEM,
+// built directly on Portals. §2 and §4.4 cite shmem and the MPI-2
+// one-sided operations as the one-sided clients of the Portals addressing
+// model: process id + memory buffer id + offset, which maps one-to-one
+// onto (ProcessID, match bits, remote offset) with remotely-managed
+// descriptors.
+//
+// A PE (processing element) exposes named symmetric regions; remote PEs
+// read and write them with Put/Get/PutNB plus Fence to order completions.
+// The target application is never involved — one-sided semantics fall
+// out of application bypass for free.
+package shmem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/portals"
+)
+
+// ptlShmem is the portal table index the layer claims.
+const ptlShmem portals.PtlIndex = 3
+
+// PE is one process's endpoint of a symmetric job.
+type PE struct {
+	ni      *portals.NI
+	rank    int
+	ids     []portals.ProcessID
+	eq      portals.Handle
+	inEQ    portals.Handle // events for operations landing in exposed regions
+	nbOut   int            // outstanding non-blocking operations
+	arrived map[portals.MatchBits]int
+
+	// FenceTimeout bounds how long Fence waits for outstanding
+	// acknowledgments (a put to an unexposed region is silently dropped
+	// by Portals, so its ack never comes). Default 30s.
+	FenceTimeout time.Duration
+}
+
+// NewPE wraps an initialized Portals interface; ids maps rank → process,
+// identical on all PEs.
+func NewPE(ni *portals.NI, rank int, ids []portals.ProcessID) (*PE, error) {
+	if rank < 0 || rank >= len(ids) {
+		return nil, fmt.Errorf("shmem: rank %d out of range", rank)
+	}
+	eq, err := ni.EQAlloc(1024)
+	if err != nil {
+		return nil, err
+	}
+	inEQ, err := ni.EQAlloc(1024)
+	if err != nil {
+		return nil, err
+	}
+	return &PE{
+		ni: ni, rank: rank, ids: append([]portals.ProcessID(nil), ids...),
+		eq: eq, inEQ: inEQ, arrived: make(map[portals.MatchBits]int),
+		FenceTimeout: 30 * time.Second,
+	}, nil
+}
+
+// Rank and Size report job coordinates.
+func (p *PE) Rank() int { return p.rank }
+func (p *PE) Size() int { return len(p.ids) }
+
+// Expose publishes buf as symmetric region id: any PE may Put into or Get
+// from it at byte offsets, concurrently with local computation.
+func (p *PE) Expose(id uint64, buf []byte) error {
+	me, err := p.ni.MEAttach(ptlShmem, portals.AnyProcess,
+		portals.MatchBits(id), 0, portals.Retain, portals.After)
+	if err != nil {
+		return err
+	}
+	_, err = p.ni.MDAttach(me, portals.MD{
+		Start:     buf,
+		Threshold: portals.ThresholdInfinite,
+		Options:   portals.MDOpPut | portals.MDOpGet | portals.MDManageRemote | portals.MDTruncate,
+		EQ:        p.inEQ,
+	}, portals.Retain)
+	return err
+}
+
+// PutNB starts a non-blocking put of data into (pe, region id) at offset.
+// Completion is deferred to Fence.
+func (p *PE) PutNB(pe int, id uint64, offset uint64, data []byte) error {
+	if pe < 0 || pe >= len(p.ids) {
+		return fmt.Errorf("shmem: pe %d out of range", pe)
+	}
+	// Threshold 2: the send and its ack; the ack is the remote-completion
+	// signal Fence waits for.
+	md, err := p.ni.MDBind(portals.MD{Start: data, Threshold: 2, EQ: p.eq}, portals.Unlink)
+	if err != nil {
+		return err
+	}
+	if err := p.ni.Put(md, portals.AckReq, p.ids[pe], ptlShmem, 0, portals.MatchBits(id), offset); err != nil {
+		return err
+	}
+	p.nbOut++ // one ack expected
+	return nil
+}
+
+// Put writes data into the remote region and returns once the target
+// acknowledged delivery (remote completion).
+func (p *PE) Put(pe int, id uint64, offset uint64, data []byte) error {
+	if err := p.PutNB(pe, id, offset, data); err != nil {
+		return err
+	}
+	return p.Fence()
+}
+
+// Get reads len(buf) bytes from the remote region at offset into buf,
+// blocking until the data arrives.
+func (p *PE) Get(pe int, id uint64, offset uint64, buf []byte) error {
+	if pe < 0 || pe >= len(p.ids) {
+		return fmt.Errorf("shmem: pe %d out of range", pe)
+	}
+	md, err := p.ni.MDBind(portals.MD{Start: buf, Threshold: 1, EQ: p.eq}, portals.Unlink)
+	if err != nil {
+		return err
+	}
+	if err := p.ni.Get(md, p.ids[pe], ptlShmem, 0, portals.MatchBits(id), offset); err != nil {
+		return err
+	}
+	for {
+		ev, err := p.ni.EQWait(p.eq)
+		if err != nil && !errors.Is(err, portals.ErrEQDropped) {
+			return err
+		}
+		switch ev.Type {
+		case portals.EventReply:
+			if ev.MLength < uint64(len(buf)) {
+				return fmt.Errorf("shmem: short get: %d of %d bytes (offset beyond region?)", ev.MLength, len(buf))
+			}
+			return nil
+		case portals.EventAck:
+			p.nbOut-- // a straggler from earlier PutNBs
+		}
+	}
+}
+
+// Fence blocks until every outstanding non-blocking put has been
+// acknowledged by its target.
+func (p *PE) Fence() error {
+	deadline := time.Now().Add(p.FenceTimeout)
+	for p.nbOut > 0 {
+		ev, err := p.ni.EQPoll(p.eq, time.Until(deadline))
+		if errors.Is(err, portals.ErrEQEmpty) {
+			return fmt.Errorf("shmem: fence timed out with %d operations outstanding", p.nbOut)
+		}
+		if err != nil && !errors.Is(err, portals.ErrEQDropped) {
+			return err
+		}
+		if ev.Type == portals.EventAck {
+			p.nbOut--
+		}
+	}
+	return nil
+}
+
+// WaitArrivals blocks until n one-sided puts have landed in the exposed
+// region with the given id (the shmem_wait analogue, built on the event
+// queue rather than memory polling, which Go's memory model forbids).
+// Arrivals in other regions are buffered for later WaitArrivals calls on
+// those regions, so concurrent protocols on different regions (e.g. the
+// internal barrier) never consume each other's events.
+func (p *PE) WaitArrivals(region uint64, n int) error {
+	key := portals.MatchBits(region)
+	for n > 0 {
+		if p.arrived[key] > 0 {
+			p.arrived[key]--
+			n--
+			continue
+		}
+		ev, err := p.ni.EQWait(p.inEQ)
+		if err != nil && !errors.Is(err, portals.ErrEQDropped) {
+			return err
+		}
+		if ev.Type == portals.EventPut {
+			p.arrived[ev.MatchBits]++
+		}
+	}
+	return nil
+}
+
+// Barrier synchronizes all PEs with one-sided puts only: dissemination
+// over a dedicated exposed region (region id barrierRegion must have been
+// exposed by every PE with size ≥ 64 bytes via ExposeBarrier).
+const barrierRegion uint64 = 0xBA44
+
+// ExposeBarrier sets up the internal barrier region; call once per PE
+// before the first Barrier.
+func (p *PE) ExposeBarrier() error {
+	return p.Expose(barrierRegion, make([]byte, 64))
+}
+
+// Barrier blocks until all PEs arrive. Each round writes a flag byte into
+// the partner's barrier region and waits for the symmetric arrival event.
+func (p *PE) Barrier() error {
+	n := len(p.ids)
+	round := 0
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (p.rank + dist) % n
+		if err := p.PutNB(dst, barrierRegion, uint64(round), []byte{1}); err != nil {
+			return err
+		}
+		// Wait for this round's incoming barrier put (arrivals in other
+		// regions are left for their own waiters; later-round barrier puts
+		// from faster peers are safely counted now — see the package
+		// discussion of counting barriers).
+		if err := p.WaitArrivals(barrierRegion, 1); err != nil {
+			return err
+		}
+		round++
+	}
+	return p.Fence()
+}

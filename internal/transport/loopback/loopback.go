@@ -1,0 +1,161 @@
+// Package loopback is an in-process transport: messages between attached
+// nodes are moved by a per-node delivery goroutine through unbounded FIFO
+// queues. Delivery is reliable and in order — not just per pair but
+// globally per receiving node — and has no configured latency, which makes
+// it the reference fabric for semantic tests.
+//
+// The per-node delivery goroutine (rather than running handlers on the
+// sender's goroutine) matters: it keeps the receive path independent of
+// every application goroutine, exactly like a NIC engine, so application-
+// bypass behaviour is preserved even on this trivial fabric.
+package loopback
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Network is an in-process fabric. The zero value is not usable; call New.
+type Network struct {
+	mu     sync.Mutex
+	nodes  map[types.NID]*endpoint
+	closed bool
+}
+
+// New creates an empty loopback fabric.
+func New() *Network {
+	return &Network{nodes: make(map[types.NID]*endpoint)}
+}
+
+type inMsg struct {
+	src types.NID
+	msg []byte
+}
+
+type endpoint struct {
+	net     *Network
+	nid     types.NID
+	handler transport.Handler
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []inMsg
+	closed bool
+	done   chan struct{}
+}
+
+// Attach registers a node. The handler runs on this node's delivery
+// goroutine.
+func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("loopback: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, types.ErrClosed
+	}
+	if _, dup := n.nodes[nid]; dup {
+		return nil, fmt.Errorf("loopback: nid %d already attached", nid)
+	}
+	ep := &endpoint{net: n, nid: nid, handler: h, done: make(chan struct{})}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.nodes[nid] = ep
+	go ep.deliveryLoop()
+	return ep, nil
+}
+
+// Close tears down the fabric.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	eps := make([]*endpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.nodes = make(map[types.NID]*endpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	return nil
+}
+
+func (ep *endpoint) deliveryLoop() {
+	defer close(ep.done)
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed && len(ep.queue) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		m := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.mu.Unlock()
+		ep.handler(m.src, m.msg)
+	}
+}
+
+func (ep *endpoint) enqueue(src types.NID, msg []byte) {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return // messages to a detached node vanish, like any network
+	}
+	ep.queue = append(ep.queue, inMsg{src: src, msg: cp})
+	ep.mu.Unlock()
+	ep.cond.Signal()
+}
+
+// Send delivers msg to dst's queue. Unknown destinations are an error so
+// misconfigured jobs fail loudly in tests.
+func (ep *endpoint) Send(dst types.NID, msg []byte) error {
+	ep.net.mu.Lock()
+	target, ok := ep.net.nodes[dst]
+	closed := ep.net.closed
+	ep.net.mu.Unlock()
+	if closed {
+		return types.ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("loopback: %w: nid %d", types.ErrProcessNotFound, dst)
+	}
+	target.enqueue(ep.nid, msg)
+	return nil
+}
+
+func (ep *endpoint) LocalNID() types.NID { return ep.nid }
+
+// Close detaches the node; queued messages are dropped after the current
+// handler invocation finishes.
+func (ep *endpoint) Close() error {
+	ep.net.mu.Lock()
+	if ep.net.nodes[ep.nid] == ep {
+		delete(ep.net.nodes, ep.nid)
+	}
+	ep.net.mu.Unlock()
+	ep.shutdown()
+	return nil
+}
+
+func (ep *endpoint) shutdown() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		<-ep.done
+		return
+	}
+	ep.closed = true
+	ep.queue = nil
+	ep.mu.Unlock()
+	ep.cond.Broadcast()
+	<-ep.done
+}

@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// link models one ordered src→dst pipe: an input queue, a pacer goroutine
+// that serializes packets at the configured bandwidth and applies fault
+// injection, and a delayer goroutine that holds each packet for the wire
+// latency. Splitting pacing from latency lets packet k+1's serialization
+// overlap packet k's flight, as on real hardware.
+type link struct {
+	net *Network
+	src types.NID
+	dst types.NID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+
+	wire chan timedPkt // pacer → delayer
+
+	held []byte // reorder buffer: a packet waiting to swap with its successor
+}
+
+type timedPkt struct {
+	arrival time.Time
+	pkt     []byte
+}
+
+func newLink(n *Network, src, dst types.NID) *link {
+	l := &link{net: n, src: src, dst: dst, wire: make(chan timedPkt, 1024)}
+	l.cond = sync.NewCond(&l.mu)
+	go l.pace()
+	go l.delay()
+	return l
+}
+
+func (l *link) enqueue(pkt []byte) {
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if cap := l.net.cfg.QueueCap; cap > 0 && len(l.queue) >= cap {
+		l.mu.Unlock()
+		l.net.stats.TailDrops.Add(1)
+		l.net.stats.Lost.Add(1)
+		return
+	}
+	l.queue = append(l.queue, cp)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *link) shutdown() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.queue = nil
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// pace pops packets, applies fault injection, serializes them at the link
+// bandwidth, and hands them to the delayer stamped with their arrival time.
+func (l *link) pace() {
+	cfg := l.net.cfg
+	var lastEnd time.Time
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			close(l.wire)
+			return
+		}
+		pkt := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		// Fault injection. Loss removes the packet; duplication emits it
+		// twice; reordering holds it until the next packet passes.
+		if cfg.LossRate > 0 && l.net.random() < cfg.LossRate {
+			l.net.stats.Lost.Add(1)
+			continue
+		}
+		emit := [][]byte{pkt}
+		if cfg.DupRate > 0 && l.net.random() < cfg.DupRate {
+			l.net.stats.Duplicated.Add(1)
+			emit = append(emit, pkt)
+		}
+		if cfg.ReorderRate > 0 {
+			if l.held != nil {
+				emit = append(emit, l.held) // held packet goes AFTER this one
+				l.held = nil
+				l.net.stats.Reordered.Add(1)
+			} else if l.net.random() < cfg.ReorderRate {
+				l.held = emit[len(emit)-1]
+				emit = emit[:len(emit)-1]
+			}
+		}
+
+		for _, p := range emit {
+			now := time.Now()
+			start := now
+			if start.Before(lastEnd) {
+				start = lastEnd
+			}
+			end := start
+			if cfg.Bandwidth > 0 {
+				end = start.Add(time.Duration(float64(len(p)) / float64(cfg.Bandwidth) * float64(time.Second)))
+			}
+			lastEnd = end
+			sleepUntil(end) // link occupied while serializing
+			select {
+			case l.wire <- timedPkt{arrival: end.Add(cfg.Latency), pkt: p}:
+			default:
+				// Wire buffer overflow: treat as congestion drop.
+				l.net.stats.TailDrops.Add(1)
+				l.net.stats.Lost.Add(1)
+			}
+		}
+	}
+}
+
+// delay holds each packet until its arrival time, then delivers it.
+// Arrival times are monotone per link, so FIFO channel order is correct.
+func (l *link) delay() {
+	for tp := range l.wire {
+		sleepUntil(tp.arrival)
+		l.net.deliver(l.src, l.dst, tp.pkt)
+	}
+}
+
+// sleepUntil waits for a deadline with microsecond fidelity. The Go/Linux
+// timer granularity makes short time.Sleep calls cost about a
+// millisecond, which would swamp Myrinet-class packet times (a 4 KB
+// packet serializes in ~26 µs); the final stretch is therefore a
+// cooperative yield loop, which is accurate and still lets every other
+// goroutine run.
+func sleepUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d > 500*time.Microsecond {
+			time.Sleep(d - 300*time.Microsecond)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,216 @@
+// Package simnet simulates the raw packet fabric the Cplant RTS/CTS stack
+// ran on: an UNRELIABLE packet network with configurable latency, per-link
+// bandwidth pacing, an MTU, and fault injection (loss, duplication,
+// reordering, tail drop). It stands in for the Myrinet hardware of §3 —
+// the paper's repro gate — and deliberately offers weaker guarantees than
+// Portals needs, so that the rtscts layer has a real job to do.
+//
+// Timing model: each link (ordered src→dst pair) is a store-and-forward
+// pipe. A packet of n bytes occupies the link for n/Bandwidth seconds
+// (serialization), then arrives Latency later. Serialization of packet
+// k+1 may overlap the flight of packet k, like real wires. Go's sleep
+// granularity is coarser than a microsecond, so absolute numbers are
+// approximate; relative shape (who is faster, where curves cross) is
+// preserved, which is the reproduction target.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Config describes one fabric.
+type Config struct {
+	// Latency is the one-way wire latency per packet.
+	Latency time.Duration
+	// Bandwidth is the link rate in bytes/second; 0 means infinite.
+	Bandwidth int64
+	// MTU is the largest packet accepted; larger sends fail loudly.
+	MTU int
+	// LossRate, DupRate, ReorderRate ∈ [0,1) inject faults per packet.
+	LossRate    float64
+	DupRate     float64
+	ReorderRate float64
+	// QueueCap bounds each link's input queue; beyond it packets are
+	// tail-dropped (counted as lost). 0 means unbounded.
+	QueueCap int
+	// Seed makes fault injection reproducible.
+	Seed int64
+}
+
+// Myrinet returns parameters approximating the paper's fabric: Myrinet
+// with LANai NICs (~160 MB/s payload rate, a few µs of wire latency,
+// 4 KB packets).
+func Myrinet() Config {
+	return Config{Latency: 5 * time.Microsecond, Bandwidth: 160e6, MTU: 4096}
+}
+
+// GigE returns parameters approximating commodity gigabit Ethernet through
+// a kernel stack (the "programmable gigabit Ethernet" port of §7).
+func GigE() Config {
+	return Config{Latency: 30 * time.Microsecond, Bandwidth: 110e6, MTU: 1500}
+}
+
+// Instant returns a fabric with no delays and no faults, for fast tests.
+func Instant() Config { return Config{MTU: 65536} }
+
+// PacketHandler receives raw packets; pkt must be copied if retained.
+type PacketHandler func(src types.NID, pkt []byte)
+
+// Stats counts fabric-level events.
+type Stats struct {
+	Sent       atomic.Int64
+	Delivered  atomic.Int64
+	Lost       atomic.Int64
+	Duplicated atomic.Int64
+	Reordered  atomic.Int64
+	TailDrops  atomic.Int64
+}
+
+// Network is a simulated fabric.
+type Network struct {
+	cfg   Config
+	stats Stats
+
+	mu     sync.Mutex
+	nodes  map[types.NID]*Endpoint
+	links  map[linkKey]*link
+	rng    *rand.Rand
+	closed bool
+}
+
+type linkKey struct{ src, dst types.NID }
+
+// New builds a fabric with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 4096
+	}
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[types.NID]*Endpoint),
+		links: make(map[linkKey]*link),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Stats exposes the fabric counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// MTU reports the fabric's packet size limit.
+func (n *Network) MTU() int { return n.cfg.MTU }
+
+// Endpoint is a node's attachment to the fabric.
+type Endpoint struct {
+	net     *Network
+	nid     types.NID
+	handler PacketHandler
+	closed  atomic.Bool
+}
+
+// Attach registers a node with its raw-packet handler.
+func (n *Network) Attach(nid types.NID, h PacketHandler) (*Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("simnet: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, types.ErrClosed
+	}
+	if _, dup := n.nodes[nid]; dup {
+		return nil, fmt.Errorf("simnet: nid %d already attached", nid)
+	}
+	ep := &Endpoint{net: n, nid: nid, handler: h}
+	n.nodes[nid] = ep
+	return ep, nil
+}
+
+// Close tears down the fabric and all links.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.links = map[linkKey]*link{}
+	n.nodes = map[types.NID]*Endpoint{}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.shutdown()
+	}
+	return nil
+}
+
+// LocalNID reports the attached node id.
+func (ep *Endpoint) LocalNID() types.NID { return ep.nid }
+
+// Close detaches the node; packets in flight to it vanish.
+func (ep *Endpoint) Close() error {
+	ep.closed.Store(true)
+	ep.net.mu.Lock()
+	if ep.net.nodes[ep.nid] == ep {
+		delete(ep.net.nodes, ep.nid)
+	}
+	ep.net.mu.Unlock()
+	return nil
+}
+
+// SendPacket queues one packet for dst. It never blocks: congestion beyond
+// QueueCap tail-drops, like a real switch. Oversized packets are an error
+// (the protocol above must packetize to the MTU).
+func (ep *Endpoint) SendPacket(dst types.NID, pkt []byte) error {
+	if len(pkt) > ep.net.cfg.MTU {
+		return fmt.Errorf("simnet: packet %d exceeds MTU %d", len(pkt), ep.net.cfg.MTU)
+	}
+	if ep.closed.Load() {
+		return types.ErrClosed
+	}
+	n := ep.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return types.ErrClosed
+	}
+	key := linkKey{src: ep.nid, dst: dst}
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n, ep.nid, dst)
+		n.links[key] = l
+	}
+	n.mu.Unlock()
+	n.stats.Sent.Add(1)
+	l.enqueue(pkt)
+	return nil
+}
+
+// deliver hands a packet to the destination node, if it is still attached.
+func (n *Network) deliver(src, dst types.NID, pkt []byte) {
+	n.mu.Lock()
+	ep := n.nodes[dst]
+	n.mu.Unlock()
+	if ep == nil || ep.closed.Load() {
+		n.stats.Lost.Add(1)
+		return
+	}
+	n.stats.Delivered.Add(1)
+	ep.handler(src, pkt)
+}
+
+// random draws a float in [0,1) under the network lock (the rng is shared
+// so a single seed makes the whole fabric reproducible).
+func (n *Network) random() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}

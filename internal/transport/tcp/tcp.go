@@ -1,0 +1,361 @@
+// Package tcp is the reference transport over kernel TCP/IP sockets —
+// the counterpart of the Portals 3.0 reference implementation the paper
+// shipped (§3: "we implemented a reference implementation over TCP/IP").
+//
+// The Portals API is connectionless; TCP is not. The mismatch is resolved
+// the way the reference implementation did: connections are established
+// lazily on first send to a destination and cached, entirely hidden from
+// the layer above. Messages are length-prefixed frames; per-pair ordering
+// follows from using one cached connection per directed pair.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// maxFrame bounds a single message; guards against corrupt length
+// prefixes on the wire.
+const maxFrame = 1 << 30
+
+// Network is a TCP fabric with an in-process address registry. Nodes
+// attached to the same Network discover each other automatically; for
+// genuinely distributed runs, seed the registry with Register and pin
+// the local listen address with SetListenAddr (or use NewStatic).
+type Network struct {
+	mu     sync.Mutex
+	addrs  map[types.NID]string
+	listen map[types.NID]string
+	eps    map[types.NID]*endpoint
+	closed bool
+}
+
+// New creates a fabric whose nodes listen on ephemeral localhost ports.
+func New() *Network {
+	return &Network{
+		addrs:  make(map[types.NID]string),
+		listen: make(map[types.NID]string),
+		eps:    make(map[types.NID]*endpoint),
+	}
+}
+
+// NewStatic creates a fabric for a genuinely distributed run: the local
+// node (whichever NID is attached in this OS process) listens at
+// listenAddr, and peers maps every remote NID to its address.
+func NewStatic(localNID types.NID, listenAddr string, peers map[types.NID]string) *Network {
+	n := New()
+	n.listen[localNID] = listenAddr
+	for nid, addr := range peers {
+		n.addrs[nid] = addr
+	}
+	return n
+}
+
+// SetListenAddr pins the listen address used when nid attaches.
+func (n *Network) SetListenAddr(nid types.NID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.listen[nid] = addr
+}
+
+// Register seeds the address of a node that lives in another OS process
+// or on another machine.
+func (n *Network) Register(nid types.NID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[nid] = addr
+}
+
+// Attach starts a listener for nid and registers its address.
+func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("tcp: nil handler")
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if _, dup := n.eps[nid]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("tcp: nid %d already attached", nid)
+	}
+	listenAddr := n.listen[nid]
+	n.mu.Unlock()
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	ep := &endpoint{
+		net:     n,
+		nid:     nid,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[types.NID]*sendConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return nil, types.ErrClosed
+	}
+	n.eps[nid] = ep
+	n.addrs[nid] = ln.Addr().String()
+	n.mu.Unlock()
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close tears down every endpoint.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	eps := make([]*endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.eps = map[types.NID]*endpoint{}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+func (n *Network) lookup(nid types.NID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.addrs[nid]
+	return a, ok
+}
+
+type endpoint struct {
+	net     *Network
+	nid     types.NID
+	handler transport.Handler
+	ln      net.Listener
+
+	mu      sync.Mutex
+	conns   map[types.NID]*sendConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// sendConn serializes writes on one outgoing connection.
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (ep *endpoint) LocalNID() types.NID { return ep.nid }
+
+func (ep *endpoint) acceptLoop() {
+	for {
+		c, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			c.Close()
+			return
+		}
+		ep.inbound[c] = struct{}{}
+		ep.wg.Add(1)
+		ep.mu.Unlock()
+		go func() {
+			defer ep.wg.Done()
+			ep.readLoop(c)
+			ep.mu.Lock()
+			delete(ep.inbound, c)
+			ep.mu.Unlock()
+		}()
+	}
+}
+
+// readLoop handles one inbound connection: a hello frame naming the
+// sender, then message frames.
+func (ep *endpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	src, err := readHello(c)
+	if err != nil {
+		return
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
+			return
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(c, msg); err != nil {
+			return
+		}
+		if ep.isClosed() {
+			return
+		}
+		ep.handler(src, msg)
+	}
+}
+
+func (ep *endpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
+}
+
+// Send frames msg onto the cached connection to dst, dialing on first use.
+func (ep *endpoint) Send(dst types.NID, msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("tcp: message of %d bytes exceeds frame limit", len(msg))
+	}
+	sc, err := ep.connTo(dst)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(msg)))
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, err := sc.conn.Write(lenBuf[:]); err != nil {
+		ep.dropConn(dst, sc)
+		return fmt.Errorf("tcp: send to %d: %w", dst, err)
+	}
+	if _, err := sc.conn.Write(msg); err != nil {
+		ep.dropConn(dst, sc)
+		return fmt.Errorf("tcp: send to %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (ep *endpoint) connTo(dst types.NID) (*sendConn, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if sc, ok := ep.conns[dst]; ok {
+		ep.mu.Unlock()
+		return sc, nil
+	}
+	ep.mu.Unlock()
+
+	addr, ok := ep.net.lookup(dst)
+	if !ok {
+		return nil, fmt.Errorf("tcp: %w: nid %d", types.ErrProcessNotFound, dst)
+	}
+	// Retry briefly: in a distributed launch peers come up staggered, and
+	// the connectionless Portals API gives callers no handle to retry on.
+	var c net.Conn
+	var err error
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		c, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) || ep.isClosed() {
+			return nil, fmt.Errorf("tcp: dial %d: %w", dst, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := writeHello(c, ep.nid); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcp: hello to %d: %w", dst, err)
+	}
+	sc := &sendConn{conn: c}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		c.Close()
+		return nil, types.ErrClosed
+	}
+	if existing, ok := ep.conns[dst]; ok {
+		ep.mu.Unlock()
+		c.Close() // lost the dial race; reuse the winner
+		return existing, nil
+	}
+	ep.conns[dst] = sc
+	ep.mu.Unlock()
+	return sc, nil
+}
+
+func (ep *endpoint) dropConn(dst types.NID, sc *sendConn) {
+	sc.conn.Close()
+	ep.mu.Lock()
+	if ep.conns[dst] == sc {
+		delete(ep.conns, dst)
+	}
+	ep.mu.Unlock()
+}
+
+// Close stops the listener and closes every cached connection.
+func (ep *endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	conns := make([]*sendConn, 0, len(ep.conns))
+	for _, sc := range ep.conns {
+		conns = append(conns, sc)
+	}
+	ep.conns = map[types.NID]*sendConn{}
+	in := make([]net.Conn, 0, len(ep.inbound))
+	for c := range ep.inbound {
+		in = append(in, c)
+	}
+	ep.mu.Unlock()
+
+	ep.ln.Close()
+	for _, sc := range conns {
+		sc.conn.Close()
+	}
+	for _, c := range in {
+		c.Close() // unblocks readLoops so wg.Wait below terminates
+	}
+	ep.net.mu.Lock()
+	if ep.net.eps[ep.nid] == ep {
+		delete(ep.net.eps, ep.nid)
+		delete(ep.net.addrs, ep.nid)
+	}
+	ep.net.mu.Unlock()
+	ep.wg.Wait()
+	return nil
+}
+
+func writeHello(c net.Conn, nid types.NID) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], 0x50334843) // "P3HC"
+	binary.BigEndian.PutUint32(buf[4:], uint32(nid))
+	_, err := c.Write(buf[:])
+	return err
+}
+
+func readHello(c net.Conn) (types.NID, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != 0x50334843 {
+		return 0, fmt.Errorf("tcp: bad hello magic")
+	}
+	return types.NID(binary.BigEndian.Uint32(buf[4:])), nil
+}

@@ -1,0 +1,47 @@
+// Package transport defines the message-delivery abstraction underneath a
+// Portals network interface.
+//
+// A Network connects nodes identified by NID. Attaching to a NID yields an
+// Endpoint whose Send delivers a complete message to another node,
+// reliably and in order per (source, destination) pair — the service the
+// Portals semantics assume (§4.1: "Portals provide reliable, ordered
+// delivery of messages between pairs of processes"). How that guarantee is
+// obtained differs per implementation:
+//
+//   - loopback: in-process FIFO queues (always reliable).
+//   - simnet + rtscts: an unreliable packet network (loss, duplication,
+//     reordering, latency, bandwidth pacing) with a sliding-window
+//     RTS/CTS reliability layer on top — the analogue of the Cplant
+//     Myrinet MCP + RTS/CTS kernel module stack (§3).
+//   - tcp: real kernel TCP sockets, the paper's reference implementation.
+package transport
+
+import "repro/internal/types"
+
+// Handler is invoked by the network with each complete message delivered
+// to the local node. src is the sending node. The callee must not retain
+// msg after returning unless it copies it. Handlers run on the network's
+// delivery goroutine — the "NIC engine" — never on an application
+// goroutine; this is where application bypass comes from.
+type Handler func(src types.NID, msg []byte)
+
+// Endpoint is a node's attachment to a network.
+type Endpoint interface {
+	// Send delivers msg to the node dst. It may block for pacing or flow
+	// control but returns once the message is accepted for reliable
+	// delivery (local completion). Send is safe for concurrent use.
+	Send(dst types.NID, msg []byte) error
+	// LocalNID reports the attached node id.
+	LocalNID() types.NID
+	// Close detaches from the network; in-flight messages may be lost.
+	Close() error
+}
+
+// Network is a fabric nodes attach to.
+type Network interface {
+	// Attach registers a node and its delivery handler. Attaching an
+	// already-attached NID fails.
+	Attach(nid types.NID, h Handler) (Endpoint, error)
+	// Close tears down the fabric and all endpoints.
+	Close() error
+}

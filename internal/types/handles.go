@@ -1,0 +1,62 @@
+package types
+
+import "fmt"
+
+// HandleKind discriminates the object classes addressable by a handle.
+type HandleKind uint8
+
+// Handle kinds. KindNone is the zero value and never names a live object.
+const (
+	KindNone HandleKind = iota
+	KindNI              // network interface
+	KindME              // match entry
+	KindMD              // memory descriptor
+	KindEQ              // event queue
+)
+
+func (k HandleKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindNI:
+		return "NI"
+	case KindME:
+		return "ME"
+	case KindMD:
+		return "MD"
+	case KindEQ:
+		return "EQ"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Handle is an opaque reference to a Portals object. Handles are small
+// values, safe to copy, and detect staleness: the generation counter is
+// bumped every time a slot is reused, so a handle to an unlinked MD is
+// reliably rejected rather than silently naming its successor.
+//
+// The put request of Table 1 carries the initiator's MD handle on the wire
+// ("even though this value cannot be interpreted by the target"); the
+// acknowledgment echoes it back so the initiator can locate the right MD.
+// Handle therefore has a fixed wire encoding (see internal/wire).
+type Handle struct {
+	Kind  HandleKind
+	Index uint32
+	Gen   uint32
+}
+
+// InvalidHandle is the distinguished "no object" handle, used e.g. to
+// request no acknowledgment and to mark an MD with no event queue.
+var InvalidHandle = Handle{}
+
+// IsValid reports whether the handle could name a live object (it may still
+// be stale; only the owning table can tell).
+func (h Handle) IsValid() bool { return h.Kind != KindNone }
+
+func (h Handle) String() string {
+	if !h.IsValid() {
+		return "hdl(invalid)"
+	}
+	return fmt.Sprintf("hdl(%s:%d.%d)", h.Kind, h.Index, h.Gen)
+}

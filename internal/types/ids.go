@@ -1,0 +1,77 @@
+// Package types defines the identifiers, handles, option flags, limits and
+// error values shared by every layer of the Portals 3.0 reproduction.
+//
+// The names follow the Portals 3.0 specification (Sandia technical report
+// SAND99-2959) translated to Go idiom: PTL_MD_OP_PUT becomes MDOpPut,
+// ptl_process_id_t becomes ProcessID, and so on.
+package types
+
+import "fmt"
+
+// NID is a node identifier. In the paper's Cplant deployment a NID names a
+// physical node on the Myrinet; here it names a simulated node attached to a
+// transport network (or a TCP endpoint).
+type NID uint32
+
+// PID is a process identifier, unique within a node. The pair (NID, PID)
+// names a process in the whole machine; Portals is connectionless, so this
+// pair is all an initiator ever needs to reach a target.
+type PID uint32
+
+// Wildcard identifiers used in access-control entries and match entries.
+// They never appear on the wire as a source identity, only as patterns.
+const (
+	NIDAny NID = 0xFFFFFFFF
+	PIDAny PID = 0xFFFFFFFF
+)
+
+// ProcessID names a process in the machine. Portals addresses carry a
+// ProcessID to route the request; match entries and ACL entries hold
+// (possibly wildcarded) ProcessIDs as acceptance patterns.
+type ProcessID struct {
+	NID NID
+	PID PID
+}
+
+// String renders the identifier in the nid:pid form used by Cplant tools.
+func (p ProcessID) String() string {
+	n, d := "any", "any"
+	if p.NID != NIDAny {
+		n = fmt.Sprintf("%d", p.NID)
+	}
+	if p.PID != PIDAny {
+		d = fmt.Sprintf("%d", p.PID)
+	}
+	return n + ":" + d
+}
+
+// IsWild reports whether either component is a wildcard.
+func (p ProcessID) IsWild() bool { return p.NID == NIDAny || p.PID == PIDAny }
+
+// Accepts reports whether a pattern identifier (which may contain wildcards)
+// accepts a concrete identifier. Used by the ACL check (§4.5) and by match
+// entries that restrict the initiator.
+func (p ProcessID) Accepts(concrete ProcessID) bool {
+	if p.NID != NIDAny && p.NID != concrete.NID {
+		return false
+	}
+	if p.PID != PIDAny && p.PID != concrete.PID {
+		return false
+	}
+	return true
+}
+
+// MatchBits is the 64-bit matching tag carried by every put and get request
+// (§4.4). Together with the ignore mask of a match entry it implements the
+// "don't care" / "must match" bit patterns of Figure 3.
+type MatchBits uint64
+
+// PtlIndex is an index into a process's portal table.
+type PtlIndex uint32
+
+// ACIndex is an index into a process's access-control list; requests carry
+// one as the "cookie" of Table 1/Table 3.
+type ACIndex uint32
+
+// PtlIndexAny is the wildcard portal index allowed in ACL entries.
+const PtlIndexAny PtlIndex = 0xFFFFFFFF

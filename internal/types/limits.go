@@ -1,0 +1,59 @@
+package types
+
+// Limits bounds the resources an interface may consume (§4.1: "the Portals
+// interface maintains a minimal amount of state"). NIInit accepts desired
+// limits and reports the actual ones granted.
+type Limits struct {
+	// MaxMEs bounds the number of match entries attached across the table.
+	MaxMEs int
+	// MaxMDs bounds the number of memory descriptors (attached or bound).
+	MaxMDs int
+	// MaxEQs bounds the number of event queues.
+	MaxEQs int
+	// MaxACEntries bounds the access-control list length.
+	MaxACEntries int
+	// MaxPtlIndex is the highest usable portal-table index; the table has
+	// MaxPtlIndex+1 slots.
+	MaxPtlIndex PtlIndex
+	// MaxMDSize bounds the length of a single memory descriptor region.
+	MaxMDSize int64
+}
+
+// DefaultLimits mirrors the defaults the Cplant implementation granted:
+// small fixed tables consistent with "minimal state".
+func DefaultLimits() Limits {
+	return Limits{
+		MaxMEs:       4096,
+		MaxMDs:       4096,
+		MaxEQs:       64,
+		MaxACEntries: 64,
+		MaxPtlIndex:  63,
+		MaxMDSize:    1 << 30,
+	}
+}
+
+// Clamp returns l with every unset (zero) field replaced by the default and
+// every field capped by the default maximum, the way NIInit negotiates
+// desired vs. actual limits.
+func (l Limits) Clamp() Limits {
+	d := DefaultLimits()
+	if l.MaxMEs <= 0 || l.MaxMEs > d.MaxMEs {
+		l.MaxMEs = d.MaxMEs
+	}
+	if l.MaxMDs <= 0 || l.MaxMDs > d.MaxMDs {
+		l.MaxMDs = d.MaxMDs
+	}
+	if l.MaxEQs <= 0 || l.MaxEQs > d.MaxEQs {
+		l.MaxEQs = d.MaxEQs
+	}
+	if l.MaxACEntries <= 0 || l.MaxACEntries > d.MaxACEntries {
+		l.MaxACEntries = d.MaxACEntries
+	}
+	if l.MaxPtlIndex == 0 || l.MaxPtlIndex > d.MaxPtlIndex {
+		l.MaxPtlIndex = d.MaxPtlIndex
+	}
+	if l.MaxMDSize <= 0 || l.MaxMDSize > d.MaxMDSize {
+		l.MaxMDSize = d.MaxMDSize
+	}
+	return l
+}

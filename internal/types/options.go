@@ -1,0 +1,116 @@
+package types
+
+// MDOptions is the option bitmask of a memory descriptor (§4.4, §4.8).
+type MDOptions uint32
+
+const (
+	// MDOpPut enables the descriptor for incoming put operations. A
+	// descriptor with this bit clear rejects puts (§4.8: "the memory
+	// descriptor has not been enabled for the incoming operation").
+	MDOpPut MDOptions = 1 << iota
+	// MDOpGet enables the descriptor for incoming get operations.
+	MDOpGet
+	// MDTruncate allows an incoming request longer than the remaining
+	// space to be accepted and truncated. Without it such requests are
+	// rejected (§4.8).
+	MDTruncate
+	// MDManageRemote makes the descriptor honour the offset carried in the
+	// incoming request. Without it the descriptor manages the offset
+	// locally (each accepted operation appends after the previous one),
+	// which is what MPI-style unexpected-message buffers use.
+	MDManageRemote
+	// MDAckDisable suppresses acknowledgment generation for puts into this
+	// descriptor even when the initiator asked for one.
+	MDAckDisable
+	// MDEventStartDisable suppresses start events (we log only completion
+	// events by default; kept for spec parity).
+	MDEventStartDisable
+)
+
+// ThresholdInfinite marks a memory descriptor that is never consumed by
+// operations (ptl_md_t.threshold = PTL_MD_THRESH_INF).
+const ThresholdInfinite = int32(-1)
+
+// Unlink behaviour for MDAttach, and for match entries.
+type UnlinkOption uint8
+
+const (
+	// Retain keeps the object linked when its threshold is exhausted or
+	// its MD list empties.
+	Retain UnlinkOption = iota
+	// Unlink removes the object automatically (Figure 4's unlink flags).
+	Unlink
+)
+
+// InsertPosition selects where MEInsert places a new match entry relative
+// to an existing one.
+type InsertPosition uint8
+
+const (
+	Before InsertPosition = iota
+	After
+)
+
+// AckRequest controls acknowledgment generation for a put (Table 1: "a
+// process can also signify that no acknowledgment is requested by using a
+// special flag").
+type AckRequest uint8
+
+const (
+	AckReq AckRequest = iota
+	NoAckReq
+)
+
+// EventType identifies what an event records (§4.8).
+type EventType uint8
+
+const (
+	// EventPut records completion of an incoming put at the target.
+	EventPut EventType = iota + 1
+	// EventGet records completion of an incoming get at the target (data
+	// was read out of the descriptor and a reply was generated).
+	EventGet
+	// EventReply records arrival of reply data at the initiator of a get.
+	EventReply
+	// EventAck records arrival of a put acknowledgment at the initiator.
+	EventAck
+	// EventSend records local completion of an outgoing put request (the
+	// message left the initiator; its buffer may be reused).
+	EventSend
+	// EventUnlink records automatic unlinking of a memory descriptor.
+	EventUnlink
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventPut:
+		return "PUT"
+	case EventGet:
+		return "GET"
+	case EventReply:
+		return "REPLY"
+	case EventAck:
+		return "ACK"
+	case EventSend:
+		return "SEND"
+	case EventUnlink:
+		return "UNLINK"
+	default:
+		return "EVENT?"
+	}
+}
+
+// NIStatusRegister selects a counter readable through NIStatus (§4.8 keeps
+// a dropped-message count per interface; we expose the full reason split
+// through internal/stats and the sum here).
+type NIStatusRegister uint8
+
+const (
+	// SRDropCount is the number of messages the interface discarded, for
+	// any of the reasons enumerated in §4.8.
+	SRDropCount NIStatusRegister = iota
+	// SRRecvCount is the number of messages delivered into descriptors.
+	SRRecvCount
+	// SRSendCount is the number of requests this interface initiated.
+	SRSendCount
+)

@@ -1,0 +1,152 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDAccepts(t *testing.T) {
+	tests := []struct {
+		name     string
+		pattern  ProcessID
+		concrete ProcessID
+		want     bool
+	}{
+		{"exact match", ProcessID{3, 7}, ProcessID{3, 7}, true},
+		{"nid mismatch", ProcessID{3, 7}, ProcessID{4, 7}, false},
+		{"pid mismatch", ProcessID{3, 7}, ProcessID{3, 8}, false},
+		{"wild nid", ProcessID{NIDAny, 7}, ProcessID{99, 7}, true},
+		{"wild pid", ProcessID{3, PIDAny}, ProcessID{3, 55}, true},
+		{"wild both", ProcessID{NIDAny, PIDAny}, ProcessID{1, 2}, true},
+		{"wild nid pid mismatch", ProcessID{NIDAny, 7}, ProcessID{99, 8}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pattern.Accepts(tt.concrete); got != tt.want {
+				t.Errorf("(%v).Accepts(%v) = %v, want %v", tt.pattern, tt.concrete, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProcessIDAcceptsReflexiveForConcrete(t *testing.T) {
+	f := func(nid uint32, pid uint32) bool {
+		p := ProcessID{NID(nid), PID(pid)}
+		return p.Accepts(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWildcardAcceptsEverything(t *testing.T) {
+	f := func(nid uint32, pid uint32) bool {
+		return ProcessID{NIDAny, PIDAny}.Accepts(ProcessID{NID(nid), PID(pid)})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessIDString(t *testing.T) {
+	if got := (ProcessID{3, 7}).String(); got != "3:7" {
+		t.Errorf("String() = %q, want %q", got, "3:7")
+	}
+	if got := (ProcessID{NIDAny, 7}).String(); got != "any:7" {
+		t.Errorf("String() = %q, want %q", got, "any:7")
+	}
+	if got := (ProcessID{3, PIDAny}).String(); got != "3:any" {
+		t.Errorf("String() = %q, want %q", got, "3:any")
+	}
+}
+
+func TestIsWild(t *testing.T) {
+	if (ProcessID{1, 2}).IsWild() {
+		t.Error("concrete id reported wild")
+	}
+	if !(ProcessID{NIDAny, 2}).IsWild() || !(ProcessID{1, PIDAny}).IsWild() {
+		t.Error("wild id not reported wild")
+	}
+}
+
+func TestHandleValidity(t *testing.T) {
+	if InvalidHandle.IsValid() {
+		t.Error("InvalidHandle.IsValid() = true")
+	}
+	h := Handle{Kind: KindMD, Index: 4, Gen: 2}
+	if !h.IsValid() {
+		t.Error("live handle reported invalid")
+	}
+	if h.String() != "hdl(MD:4.2)" {
+		t.Errorf("String() = %q", h.String())
+	}
+	if InvalidHandle.String() != "hdl(invalid)" {
+		t.Errorf("String() = %q", InvalidHandle.String())
+	}
+}
+
+func TestHandleKindStrings(t *testing.T) {
+	kinds := map[HandleKind]string{
+		KindNone: "none", KindNI: "NI", KindME: "ME", KindMD: "MD", KindEQ: "EQ",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if HandleKind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind = %q", HandleKind(99).String())
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for _, et := range []EventType{EventPut, EventGet, EventReply, EventAck, EventSend, EventUnlink} {
+		if et.String() == "EVENT?" {
+			t.Errorf("event type %d has no name", et)
+		}
+	}
+	if EventType(0).String() != "EVENT?" {
+		t.Error("zero event type should be unnamed")
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	for r := DropReason(1); int(r) < NumDropReasons; r++ {
+		if r.String() == "drop?" || r.String() == "" {
+			t.Errorf("drop reason %d has no name", r)
+		}
+	}
+	if DropReason(200).String() != "drop?" {
+		t.Error("out-of-range reason should be drop?")
+	}
+}
+
+func TestLimitsClampDefaults(t *testing.T) {
+	var l Limits
+	c := l.Clamp()
+	if c != DefaultLimits() {
+		t.Errorf("Clamp of zero limits = %+v, want defaults %+v", c, DefaultLimits())
+	}
+}
+
+func TestLimitsClampCaps(t *testing.T) {
+	l := Limits{MaxMEs: 1 << 30, MaxMDs: 1, MaxEQs: 2, MaxACEntries: 3, MaxPtlIndex: 7, MaxMDSize: 128}
+	c := l.Clamp()
+	if c.MaxMEs != DefaultLimits().MaxMEs {
+		t.Errorf("MaxMEs not capped: %d", c.MaxMEs)
+	}
+	if c.MaxMDs != 1 || c.MaxEQs != 2 || c.MaxACEntries != 3 || c.MaxPtlIndex != 7 || c.MaxMDSize != 128 {
+		t.Errorf("in-range values altered: %+v", c)
+	}
+}
+
+func TestLimitsClampPreservesValid(t *testing.T) {
+	f := func(mes, mds uint16) bool {
+		l := Limits{MaxMEs: int(mes%4096) + 1, MaxMDs: int(mds%4096) + 1}
+		c := l.Clamp()
+		return c.MaxMEs == l.MaxMEs && c.MaxMDs == l.MaxMDs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

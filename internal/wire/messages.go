@@ -1,0 +1,76 @@
+package wire
+
+import "repro/internal/types"
+
+// NewPut builds the header of a put request carrying the Table 1 fields.
+// md is the initiator's descriptor handle, transmitted "even though this
+// value cannot be interpreted by the target" so the ack can echo it.
+func NewPut(initiator, target types.ProcessID, ptl types.PtlIndex, cookie types.ACIndex,
+	bits types.MatchBits, offset uint64, md types.Handle, length uint64, ack types.AckRequest) Header {
+	h := Header{
+		Op:        OpPut,
+		Initiator: initiator,
+		Target:    target,
+		PtlIndex:  ptl,
+		Cookie:    cookie,
+		MatchBits: bits,
+		Offset:    offset,
+		MD:        md,
+		RLength:   length,
+	}
+	if ack == types.AckReq {
+		h.Flags |= FlagAckRequested
+	}
+	return h
+}
+
+// NewGet builds the header of a get request carrying the Table 3 fields.
+// md is the initiator's descriptor that will receive the reply data; unlike
+// a put there is no ack flag and no event-queue handle on the wire (§4.7).
+func NewGet(initiator, target types.ProcessID, ptl types.PtlIndex, cookie types.ACIndex,
+	bits types.MatchBits, offset uint64, md types.Handle, length uint64) Header {
+	return Header{
+		Op:        OpGet,
+		Initiator: initiator,
+		Target:    target,
+		PtlIndex:  ptl,
+		Cookie:    cookie,
+		MatchBits: bits,
+		Offset:    offset,
+		MD:        md,
+		RLength:   length,
+	}
+}
+
+// AckFor builds the acknowledgment for a satisfied put request. Table 2:
+// "most of the information is simply echoed from the put request ... the
+// initiator and target are obtained directly from the put request, but are
+// swapped ... the only new piece of information is the manipulated length,
+// which is determined as the put request is satisfied."
+func AckFor(put *Header, mlength uint64) Header {
+	return Header{
+		Op:        OpAck,
+		Initiator: put.Target, // swapped
+		Target:    put.Initiator,
+		PtlIndex:  put.PtlIndex,
+		MatchBits: put.MatchBits,
+		Offset:    put.Offset,
+		MD:        put.MD, // echoed: routes the ack to the initiator's MD/EQ
+		RLength:   put.RLength,
+		MLength:   mlength,
+	}
+}
+
+// ReplyFor builds the reply for a satisfied get request. Table 4: echoed
+// fields with initiator/target swapped; the new information is the
+// manipulated length and the data.
+func ReplyFor(get *Header, mlength uint64) Header {
+	return Header{
+		Op:        OpReply,
+		Initiator: get.Target, // swapped
+		Target:    get.Initiator,
+		MD:        get.MD, // routes the reply into the initiator's MD
+		RLength:   get.RLength,
+		MLength:   mlength,
+	}
+}

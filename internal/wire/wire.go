@@ -1,0 +1,207 @@
+// Package wire defines the on-the-wire representation of the four Portals
+// message types — put requests, acknowledgments, get requests, and replies —
+// exactly as enumerated in Tables 1–4 of the paper (§4.6–4.7).
+//
+// Every message is a fixed-size header optionally followed by payload data
+// (put requests and replies carry data; acknowledgments and get requests do
+// not). The header layout is a stable binary format so that the same bytes
+// flow over the loopback transport, the simulated Myrinet, and real TCP.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Op identifies the message type (the "operation" row of Tables 1–4).
+type Op uint8
+
+const (
+	// OpPut is a put request: initiator pushes data to the target (Table 1).
+	OpPut Op = iota + 1
+	// OpAck acknowledges a put (Table 2).
+	OpAck
+	// OpGet is a get request: initiator asks the target for data (Table 3).
+	OpGet
+	// OpReply carries the data satisfying a get (Table 4).
+	OpReply
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpAck:
+		return "ack"
+	case OpGet:
+		return "get"
+	case OpReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Flag bits carried in the header.
+const (
+	// FlagAckRequested is set on a put request whose initiator wants an
+	// acknowledgment (Table 1: "a process can also signify that no
+	// acknowledgment is requested by using a special flag" — we encode the
+	// positive form).
+	FlagAckRequested uint8 = 1 << iota
+)
+
+// HeaderSize is the encoded size of every message header in bytes.
+const HeaderSize = 80
+
+const (
+	magic   uint16 = 0x5033 // "P3"
+	version uint8  = 30     // Portals 3.0
+)
+
+// Header is the union of the fields of Tables 1–4. Field usage by type:
+//
+//	field       put  ack  get  reply
+//	Op           ✓    ✓    ✓    ✓
+//	Initiator    ✓    ✓*   ✓    ✓*   (*swapped: the ack/reply's initiator
+//	Target       ✓    ✓*   ✓    ✓*    is the original target)
+//	PtlIndex     ✓    ✓    ✓    –
+//	Cookie       ✓    –    ✓    –
+//	MatchBits    ✓    ✓    ✓    –
+//	Offset       ✓    ✓    ✓    –
+//	MD           ✓    ✓    ✓    ✓    (initiator's descriptor, echoed back)
+//	RLength      ✓    ✓    ✓    ✓
+//	MLength      –    ✓    –    ✓    (manipulated length, §4.7)
+//	payload      ✓    –    –    ✓
+//
+// Unused fields are zero on the wire. Note the get request does not carry
+// an event-queue handle (§4.7: "there is no advantage to explicitly sending
+// the event queue handle") — the reply is routed through the MD handle.
+type Header struct {
+	Op        Op
+	Flags     uint8
+	Initiator types.ProcessID
+	Target    types.ProcessID
+	PtlIndex  types.PtlIndex
+	Cookie    types.ACIndex
+	MatchBits types.MatchBits
+	Offset    uint64
+	MD        types.Handle
+	RLength   uint64 // requested length ("length" rows of Tables 1 and 3)
+	MLength   uint64 // manipulated length (Tables 2 and 4)
+}
+
+// AckRequested reports whether a put request asked for an acknowledgment.
+func (h *Header) AckRequested() bool { return h.Flags&FlagAckRequested != 0 }
+
+// CarriesData reports whether this message type is followed by payload.
+func (h *Header) CarriesData() bool { return h.Op == OpPut || h.Op == OpReply }
+
+// PayloadLen returns the number of payload bytes that follow the header on
+// the wire: RLength for a put, MLength for a reply, zero otherwise.
+func (h *Header) PayloadLen() uint64 {
+	switch h.Op {
+	case OpPut:
+		return h.RLength
+	case OpReply:
+		return h.MLength
+	default:
+		return 0
+	}
+}
+
+// Encode writes the header into buf, which must be at least HeaderSize
+// bytes, and returns HeaderSize.
+func (h *Header) Encode(buf []byte) int {
+	_ = buf[HeaderSize-1] // bounds check hint
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = version
+	buf[3] = uint8(h.Op)
+	buf[4] = h.Flags
+	buf[5], buf[6], buf[7] = 0, 0, 0
+	binary.BigEndian.PutUint32(buf[8:], uint32(h.Initiator.NID))
+	binary.BigEndian.PutUint32(buf[12:], uint32(h.Initiator.PID))
+	binary.BigEndian.PutUint32(buf[16:], uint32(h.Target.NID))
+	binary.BigEndian.PutUint32(buf[20:], uint32(h.Target.PID))
+	binary.BigEndian.PutUint32(buf[24:], uint32(h.PtlIndex))
+	binary.BigEndian.PutUint32(buf[28:], uint32(h.Cookie))
+	binary.BigEndian.PutUint64(buf[32:], uint64(h.MatchBits))
+	binary.BigEndian.PutUint64(buf[40:], h.Offset)
+	buf[48] = uint8(h.MD.Kind)
+	buf[49], buf[50], buf[51] = 0, 0, 0
+	binary.BigEndian.PutUint32(buf[52:], h.MD.Index)
+	binary.BigEndian.PutUint32(buf[56:], h.MD.Gen)
+	binary.BigEndian.PutUint64(buf[60:], h.RLength)
+	binary.BigEndian.PutUint64(buf[68:], h.MLength)
+	buf[76], buf[77], buf[78], buf[79] = 0, 0, 0, 0
+	return HeaderSize
+}
+
+// Decode parses a header from buf. It verifies the magic, version, and
+// operation code, so corrupted or foreign packets are rejected instead of
+// being misinterpreted.
+func (h *Header) Decode(buf []byte) error {
+	if len(buf) < HeaderSize {
+		return fmt.Errorf("wire: short header: %d < %d bytes", len(buf), HeaderSize)
+	}
+	if m := binary.BigEndian.Uint16(buf[0:]); m != magic {
+		return fmt.Errorf("wire: bad magic 0x%04x", m)
+	}
+	if v := buf[2]; v != version {
+		return fmt.Errorf("wire: unsupported version %d", v)
+	}
+	op := Op(buf[3])
+	if op < OpPut || op > OpReply {
+		return fmt.Errorf("wire: unknown operation %d", buf[3])
+	}
+	h.Op = op
+	h.Flags = buf[4]
+	h.Initiator = types.ProcessID{
+		NID: types.NID(binary.BigEndian.Uint32(buf[8:])),
+		PID: types.PID(binary.BigEndian.Uint32(buf[12:])),
+	}
+	h.Target = types.ProcessID{
+		NID: types.NID(binary.BigEndian.Uint32(buf[16:])),
+		PID: types.PID(binary.BigEndian.Uint32(buf[20:])),
+	}
+	h.PtlIndex = types.PtlIndex(binary.BigEndian.Uint32(buf[24:]))
+	h.Cookie = types.ACIndex(binary.BigEndian.Uint32(buf[28:]))
+	h.MatchBits = types.MatchBits(binary.BigEndian.Uint64(buf[32:]))
+	h.Offset = binary.BigEndian.Uint64(buf[40:])
+	h.MD = types.Handle{
+		Kind:  types.HandleKind(buf[48]),
+		Index: binary.BigEndian.Uint32(buf[52:]),
+		Gen:   binary.BigEndian.Uint32(buf[56:]),
+	}
+	h.RLength = binary.BigEndian.Uint64(buf[60:])
+	h.MLength = binary.BigEndian.Uint64(buf[68:])
+	return nil
+}
+
+// EncodeMessage allocates and returns header+payload as one buffer. The
+// payload is copied; transports own the returned slice.
+func EncodeMessage(h *Header, payload []byte) []byte {
+	buf := make([]byte, HeaderSize+len(payload))
+	h.Encode(buf)
+	copy(buf[HeaderSize:], payload)
+	return buf
+}
+
+// DecodeMessage splits a received buffer into header and payload view.
+// The payload aliases buf; callers must copy it if they retain it past the
+// buffer's lifetime (the delivery engine copies it straight into the MD's
+// user memory, which is the single copy on the Portals receive path).
+func DecodeMessage(buf []byte) (Header, []byte, error) {
+	var h Header
+	if err := h.Decode(buf); err != nil {
+		return Header{}, nil, err
+	}
+	want := h.PayloadLen()
+	got := uint64(len(buf) - HeaderSize)
+	if got < want {
+		return Header{}, nil, fmt.Errorf("wire: truncated %s: payload %d < declared %d", h.Op, got, want)
+	}
+	return h, buf[HeaderSize : HeaderSize+want], nil
+}

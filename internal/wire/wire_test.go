@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Op:        OpPut,
+		Flags:     FlagAckRequested,
+		Initiator: types.ProcessID{NID: 1, PID: 2},
+		Target:    types.ProcessID{NID: 3, PID: 4},
+		PtlIndex:  5,
+		Cookie:    6,
+		MatchBits: 0xDEADBEEFCAFEF00D,
+		Offset:    4096,
+		MD:        types.Handle{Kind: types.KindMD, Index: 7, Gen: 9},
+		RLength:   50 * 1024,
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, HeaderSize)
+	if n := h.Encode(buf); n != HeaderSize {
+		t.Fatalf("Encode returned %d, want %d", n, HeaderSize)
+	}
+	var got Header
+	if err := got.Decode(buf); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != h {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(op uint8, flags uint8, inid, ipid, tnid, tpid, ptl, cookie uint32,
+		bits, offset uint64, mdIdx, mdGen uint32, rlen, mlen uint64) bool {
+		h := Header{
+			Op:        Op(op%4) + OpPut,
+			Flags:     flags,
+			Initiator: types.ProcessID{NID: types.NID(inid), PID: types.PID(ipid)},
+			Target:    types.ProcessID{NID: types.NID(tnid), PID: types.PID(tpid)},
+			PtlIndex:  types.PtlIndex(ptl),
+			Cookie:    types.ACIndex(cookie),
+			MatchBits: types.MatchBits(bits),
+			Offset:    offset,
+			MD:        types.Handle{Kind: types.KindMD, Index: mdIdx, Gen: mdGen},
+			RLength:   rlen,
+			MLength:   mlen,
+		}
+		buf := make([]byte, HeaderSize)
+		h.Encode(buf)
+		var got Header
+		if err := got.Decode(buf); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, HeaderSize)
+	h.Encode(buf)
+	buf[0] = 0xFF
+	var got Header
+	if err := got.Decode(buf); err == nil {
+		t.Error("Decode accepted bad magic")
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, HeaderSize)
+	h.Encode(buf)
+	buf[2] = 99
+	var got Header
+	if err := got.Decode(buf); err == nil {
+		t.Error("Decode accepted bad version")
+	}
+}
+
+func TestDecodeRejectsBadOp(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, HeaderSize)
+	h.Encode(buf)
+	for _, bad := range []uint8{0, 5, 200} {
+		buf[3] = bad
+		var got Header
+		if err := got.Decode(buf); err == nil {
+			t.Errorf("Decode accepted op %d", bad)
+		}
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	var got Header
+	if err := got.Decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Error("Decode accepted short buffer")
+	}
+}
+
+func TestEncodeDecodeMessageWithPayload(t *testing.T) {
+	h := sampleHeader()
+	payload := bytes.Repeat([]byte{0xAB}, int(h.RLength))
+	buf := EncodeMessage(&h, payload)
+	if len(buf) != HeaderSize+len(payload) {
+		t.Fatalf("message length %d, want %d", len(buf), HeaderSize+len(payload))
+	}
+	got, data, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if got != h {
+		t.Errorf("header mismatch: %+v vs %+v", got, h)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestDecodeMessageTruncatedPayload(t *testing.T) {
+	h := sampleHeader()
+	payload := make([]byte, h.RLength)
+	buf := EncodeMessage(&h, payload)
+	if _, _, err := DecodeMessage(buf[:len(buf)-1]); err == nil {
+		t.Error("DecodeMessage accepted truncated payload")
+	}
+}
+
+// Table 1: put requests carry the data; Table 3: get requests do not.
+func TestPayloadLenByOp(t *testing.T) {
+	tests := []struct {
+		op   Op
+		rlen uint64
+		mlen uint64
+		want uint64
+	}{
+		{OpPut, 100, 0, 100},
+		{OpGet, 100, 0, 0},
+		{OpAck, 100, 60, 0},
+		{OpReply, 100, 60, 60},
+	}
+	for _, tt := range tests {
+		h := Header{Op: tt.op, RLength: tt.rlen, MLength: tt.mlen}
+		if got := h.PayloadLen(); got != tt.want {
+			t.Errorf("%s.PayloadLen() = %d, want %d", tt.op, got, tt.want)
+		}
+		wantData := tt.op == OpPut || tt.op == OpReply
+		if h.CarriesData() != wantData {
+			t.Errorf("%s.CarriesData() = %v, want %v", tt.op, h.CarriesData(), wantData)
+		}
+	}
+}
+
+// Table 2 semantics: ack echoes the put with initiator/target swapped and
+// adds only the manipulated length.
+func TestAckForSwapsAndEchoes(t *testing.T) {
+	put := NewPut(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4}, 5, 0, 0x77, 128,
+		types.Handle{Kind: types.KindMD, Index: 9, Gen: 1}, 1000, types.AckReq)
+	ack := AckFor(&put, 600)
+	if ack.Op != OpAck {
+		t.Errorf("op = %v", ack.Op)
+	}
+	if ack.Initiator != put.Target || ack.Target != put.Initiator {
+		t.Error("ack did not swap initiator/target")
+	}
+	if ack.MD != put.MD {
+		t.Error("ack did not echo the MD handle")
+	}
+	if ack.MatchBits != put.MatchBits || ack.PtlIndex != put.PtlIndex || ack.Offset != put.Offset {
+		t.Error("ack did not echo put fields")
+	}
+	if ack.RLength != put.RLength || ack.MLength != 600 {
+		t.Errorf("ack lengths = %d/%d, want %d/600", ack.RLength, ack.MLength, put.RLength)
+	}
+}
+
+// Table 4 semantics: reply echoes the get with roles swapped, adds the
+// manipulated length (the data follows as payload).
+func TestReplyForSwapsAndEchoes(t *testing.T) {
+	get := NewGet(types.ProcessID{NID: 1, PID: 2}, types.ProcessID{NID: 3, PID: 4}, 5, 0, 0x88, 0,
+		types.Handle{Kind: types.KindMD, Index: 11, Gen: 2}, 2048)
+	reply := ReplyFor(&get, 2048)
+	if reply.Op != OpReply {
+		t.Errorf("op = %v", reply.Op)
+	}
+	if reply.Initiator != get.Target || reply.Target != get.Initiator {
+		t.Error("reply did not swap initiator/target")
+	}
+	if reply.MD != get.MD {
+		t.Error("reply did not echo the MD handle")
+	}
+	if reply.MLength != 2048 {
+		t.Errorf("reply mlength = %d", reply.MLength)
+	}
+}
+
+// §4.7: "a process can also signify that no acknowledgment is requested".
+func TestNoAckFlag(t *testing.T) {
+	put := NewPut(types.ProcessID{}, types.ProcessID{}, 0, 0, 0, 0, types.InvalidHandle, 0, types.NoAckReq)
+	if put.AckRequested() {
+		t.Error("NoAckReq put has ack flag set")
+	}
+	put2 := NewPut(types.ProcessID{}, types.ProcessID{}, 0, 0, 0, 0, types.InvalidHandle, 0, types.AckReq)
+	if !put2.AckRequested() {
+		t.Error("AckReq put missing ack flag")
+	}
+}
+
+// §4.7: get requests never carry an ack flag or event queue handle.
+func TestGetHasNoAckFlag(t *testing.T) {
+	get := NewGet(types.ProcessID{}, types.ProcessID{}, 0, 0, 0, 0, types.InvalidHandle, 10)
+	if get.AckRequested() {
+		t.Error("get request has ack flag")
+	}
+}

@@ -1,0 +1,55 @@
+// Package portals is a Go implementation of the Portals 3.0 message
+// passing interface (Brightwell, Riesen, Lawry, Maccabe: "Portals 3.0:
+// Protocol Building Blocks for Low Overhead Communication", IPPS 2002).
+//
+// Portals is a connectionless, reliable, in-order data-movement API whose
+// defining property is application bypass: once a process has described
+// how incoming messages are to be handled, message selection, delivery
+// into user memory, and event posting all proceed with no involvement of
+// the application — here, on a delivery-engine goroutine that stands in
+// for the NIC firmware of the paper's Myrinet implementation.
+//
+// # Objects
+//
+// The API manipulates four object kinds through opaque handles, arranged
+// exactly as in Figure 3 of the paper:
+//
+//   - the portal table, indexed by PtlIndex, whose slots head match lists;
+//   - match entries (ME), each with "must match"/"ignore" bit patterns,
+//     an initiator restriction, and a list of memory descriptors;
+//   - memory descriptors (MD), each naming a user memory region, an
+//     operation mask, a threshold, and an optional event queue;
+//   - event queues (EQ), fixed-size circular buffers of operation records.
+//
+// Data moves with Put (send) and Get, addressed by (process, portal
+// index, match bits, offset) plus an access-control cookie.
+//
+// # Quick start
+//
+//	m := portals.NewMachine(portals.Loopback())
+//	defer m.Close()
+//
+//	recv, _ := m.NIInit(1, 1, portals.Limits{})   // nid 1, pid 1
+//	send, _ := m.NIInit(2, 1, portals.Limits{})
+//
+//	eq, _ := recv.EQAlloc(16)
+//	me, _ := recv.MEAttach(0, portals.AnyProcess, 42, 0, portals.Retain, portals.After)
+//	buf := make([]byte, 64)
+//	recv.MDAttach(me, portals.MD{
+//		Start: buf, Threshold: portals.ThresholdInfinite,
+//		Options: portals.MDOpPut, EQ: eq,
+//	}, portals.Retain)
+//
+//	md, _ := send.MDBind(portals.MD{Start: []byte("hello"), Threshold: 1}, portals.Unlink)
+//	send.Put(md, portals.NoAckReq, recv.ID(), 0, 0, 42, 0)
+//
+//	ev, _ := recv.EQWait(eq)   // types.EventPut, buf now holds "hello"
+//
+// # Fabrics
+//
+// A Machine binds the API to one of three fabrics: Loopback (in-process
+// FIFOs, for tests), Myrinet-class simulation (packetized, paced,
+// optionally lossy, with the RTS/CTS reliability layer — the analogue of
+// the paper's Cplant stack), or TCP (the paper's reference
+// implementation, real kernel sockets).
+package portals

@@ -1,0 +1,74 @@
+package portals_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/portals"
+)
+
+// Example demonstrates the complete put path: arm a portal, put into it,
+// harvest the event.
+func Example() {
+	m := portals.NewMachine(portals.Loopback())
+	defer m.Close()
+
+	recv, err := m.NIInit(1, 1, portals.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	send, err := m.NIInit(2, 1, portals.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eq, _ := recv.EQAlloc(16)
+	me, _ := recv.MEAttach(0, portals.AnyProcess, 42, 0, portals.Retain, portals.After)
+	inbox := make([]byte, 32)
+	recv.MDAttach(me, portals.MD{
+		Start: inbox, Threshold: portals.ThresholdInfinite,
+		Options: portals.MDOpPut, EQ: eq,
+	}, portals.Retain)
+
+	md, _ := send.MDBind(portals.MD{Start: []byte("ping"), Threshold: 1}, portals.Unlink)
+	if err := send.Put(md, portals.NoAckReq, recv.ID(), 0, 0, 42, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	ev, err := recv.EQPoll(eq, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v %dB %q\n", ev.Type, ev.MLength, inbox[:ev.MLength])
+	// Output: PUT 4B "ping"
+}
+
+// ExampleNI_Get shows the one-sided read: the target arms data once and
+// never participates in the transfers.
+func ExampleNI_Get() {
+	m := portals.NewMachine(portals.Loopback())
+	defer m.Close()
+
+	server, _ := m.NIInit(1, 1, portals.Limits{})
+	client, _ := m.NIInit(2, 1, portals.Limits{})
+
+	me, _ := server.MEAttach(0, portals.AnyProcess, 7, 0, portals.Retain, portals.After)
+	server.MDAttach(me, portals.MD{
+		Start:     []byte("remote memory contents"),
+		Threshold: portals.ThresholdInfinite,
+		Options:   portals.MDOpGet | portals.MDManageRemote | portals.MDTruncate,
+	}, portals.Retain)
+
+	eq, _ := client.EQAlloc(8)
+	window := make([]byte, 6)
+	md, _ := client.MDBind(portals.MD{Start: window, Threshold: 1, EQ: eq}, portals.Unlink)
+	if err := client.Get(md, server.ID(), 0, 0, 7, 7); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.EQPoll(eq, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%q\n", window)
+	// Output: "memory"
+}

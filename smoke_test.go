@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Smoke tests: every example and command-line tool builds, runs on small
+// inputs, and prints what its documentation promises. These are the
+// "does the shipped repo actually work" checks a release pipeline runs.
+
+func runCmd(t *testing.T, timeout time.Duration, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		t.Fatalf("%s %v timed out after %v\noutput: %s", name, args, timeout, out)
+	}
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func goRun(t *testing.T, timeout time.Duration, pkg string, args ...string) string {
+	t.Helper()
+	return runCmd(t, timeout, "go", append([]string{"run", pkg}, args...)...)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 60*time.Second, "./examples/quickstart")
+	if !strings.Contains(out, `"hello, Portals 3.0"`) {
+		t.Errorf("quickstart output:\n%s", out)
+	}
+}
+
+func TestExampleHalo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./examples/halo", "-n", "3", "-rows", "48", "-cols", "48", "-iters", "10")
+	if !strings.Contains(out, "done: 3 ranks") || !strings.Contains(out, "heat checksum") {
+		t.Errorf("halo output:\n%s", out)
+	}
+}
+
+func TestExampleOnesided(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./examples/onesided", "-n", "2", "-bins", "8", "-samples", "500")
+	if !strings.Contains(out, "total samples accounted: 1000 (expected 1000)") {
+		t.Errorf("onesided output:\n%s", out)
+	}
+}
+
+func TestExampleFileio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 60*time.Second, "./examples/fileio")
+	if !strings.Contains(out, "data path fully bypassed") {
+		t.Errorf("fileio output:\n%s", out)
+	}
+}
+
+func TestExampleOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./examples/overlap", "-batch", "4", "-work", "6ms")
+	if !strings.Contains(out, "communication hidden behind compute") {
+		t.Errorf("overlap output:\n%s", out)
+	}
+}
+
+func TestCmdBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/bypass", "-points", "2", "-iters", "1", "-max", "6ms")
+	if !strings.Contains(out, "wait(MPI/GM)") || strings.Count(out, "ms") < 1 {
+		t.Errorf("bypass output:\n%s", out)
+	}
+}
+
+func TestCmdPingpong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/pingpong", "-fabric", "loopback", "-iters", "20")
+	if !strings.Contains(out, "half-RTT") {
+		t.Errorf("pingpong output:\n%s", out)
+	}
+}
+
+func TestCmdMemscale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/memscale", "-maxpeers", "8")
+	if !strings.Contains(out, "portals(bytes)") {
+		t.Errorf("memscale output:\n%s", out)
+	}
+}
+
+func TestCmdPtlnodePair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	bin := t.TempDir() + "/ptlnode"
+	runCmd(t, 120*time.Second, "go", "build", "-o", bin, "./cmd/ptlnode")
+
+	pong := exec.Command(bin, "-nid", "1", "-listen", "127.0.0.1:9901",
+		"-peer", "2=127.0.0.1:9902", "-mode", "pong")
+	if err := pong.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		pong.Process.Kill()
+		pong.Wait()
+	}()
+	out := runCmd(t, 60*time.Second, bin, "-nid", "2", "-listen", "127.0.0.1:9902",
+		"-peer", "1=127.0.0.1:9901", "-mode", "ping", "-target", "1", "-count", "50", "-size", "256")
+	if !strings.Contains(out, "round trips") || !strings.Contains(out, "avg RTT") {
+		t.Errorf("ptlnode output:\n%s", out)
+	}
+}
+
+func TestCmdMpinodeJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	bin := t.TempDir() + "/mpinode"
+	runCmd(t, 120*time.Second, "go", "build", "-o", bin, "./cmd/mpinode")
+
+	addrs := "127.0.0.1:9911,127.0.0.1:9912"
+	r1 := exec.Command(bin, "-rank", "1", "-n", "2", "-addrs", addrs, "-size", "4096", "-rounds", "2")
+	if err := r1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, 60*time.Second, bin, "-rank", "0", "-n", "2", "-addrs", addrs, "-size", "4096", "-rounds", "2")
+	if err := r1.Wait(); err != nil {
+		t.Fatalf("rank 1: %v", err)
+	}
+	if !strings.Contains(out, "rank 0/2") || !strings.Contains(out, "OK") {
+		t.Errorf("mpinode output:\n%s", out)
+	}
+}
+
+func TestCmdMpibench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/mpibench", "-fabric", "loopback", "-bench", "latency", "-iters", "20")
+	if !strings.Contains(out, "ping-pong latency") {
+		t.Errorf("mpibench output:\n%s", out)
+	}
+}
+
+func TestCmdSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 300*time.Second, "./cmd/sweep", "-quick")
+	for _, want := range []string{"E1 (Figure 6)", "E3", "E5", "E7", "E8", "E12", "done."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+	_ = fmt.Sprint() // keep fmt imported if asserts change
+}
