@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench sweep examples clean
+.PHONY: all build lint test race short bench sweep examples ci clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# lint runs portalsvet, the repo's own static-analysis suite (docs/LINT.md):
+# application-bypass, lock-discipline, atomics-only, checked-error, and
+# goroutine-lifecycle invariants.
+lint:
+	$(GO) run ./cmd/portalsvet ./...
 
 test:
 	$(GO) test ./...
@@ -25,6 +31,9 @@ bench:
 # Regenerate every paper experiment (EXPERIMENTS.md records one such run).
 sweep:
 	$(GO) run ./cmd/sweep
+
+# ci is everything the GitHub Actions workflow runs, for local parity.
+ci: build lint test race
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -31,7 +31,9 @@ func main() {
 	for n := 2; n-1 <= *maxPeers; n *= 2 {
 		m := portals.NewMachine(portals.Loopback())
 		p, err := experiments.MemScale(m, n, mpi.Config{}, *credits, *bufSize)
-		m.Close()
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -107,7 +107,9 @@ func main() {
 	for n := 2; n <= 128; n *= 4 {
 		m := portals.NewMachine(portals.Loopback())
 		p, err := experiments.MemScale(m, n, mpi.Config{}, 16, 32*1024)
-		m.Close()
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// atomicsCheck enforces the hot-path counter invariant: struct types named
+// "Counters" or "Stats" (or ending in either) are touched by the delivery
+// engine concurrently with application reads, so every field must be a
+// sync/atomic type (§4.8's dropped-message counts are incremented on the
+// wire path; a plain field would need the very locks application bypass
+// forbids). Both the offending field declaration and every non-atomic
+// access to such a field are reported.
+type atomicsCheck struct{}
+
+func (atomicsCheck) Name() string { return "atomicsonly" }
+func (atomicsCheck) Doc() string {
+	return "fields of hot-path counter types (Counters/Stats) must be sync/atomic"
+}
+
+func (atomicsCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// Pass 1: field declarations of counter types in the analyzed packages.
+	badFields := make(map[*types.Var]bool) // non-atomic fields of counter types
+	for _, pkg := range p.All {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || !isCounterTypeName(ts.Name.Name) {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				analyzed := isAnalyzed(p, pkg)
+				for _, fld := range st.Fields.List {
+					tv, ok := pkg.Info.Types[fld.Type]
+					if !ok || isAtomicType(tv.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							badFields[obj] = true
+						}
+						if analyzed {
+							diags = append(diags, Diagnostic{
+								Pos:   p.Fset.Position(name.Pos()),
+								Check: "atomicsonly",
+								Message: "field " + name.Name + " of counter type " + ts.Name.Name +
+									" is not a sync/atomic type; hot-path counters must be atomics-only",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every use of a non-atomic counter field, wherever it occurs
+	// in the analyzed packages.
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !badFields[obj] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   p.Fset.Position(sel.Sel.Pos()),
+					Check: "atomicsonly",
+					Message: "non-atomic access to counter field " + sel.Sel.Name +
+						"; use a sync/atomic field type",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func isCounterTypeName(name string) bool {
+	return strings.HasSuffix(name, "Counters") || strings.HasSuffix(name, "Stats")
+}
+
+// isAtomicType accepts sync/atomic types and arrays of them.
+func isAtomicType(t types.Type) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Array:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			obj := tt.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+		default:
+			return false
+		}
+	}
+}
+
+func isAnalyzed(p *Program, pkg *Package) bool {
+	for _, sel := range p.Packages {
+		if sel == pkg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// deliveryPackages are the packages whose message handlers form the
+// delivery engine; their "on*" methods run on transport/link goroutines.
+var deliveryPackages = []string{"internal/nicsim", "internal/rtscts"}
+
+// bypassCheck enforces application bypass (§5.1): no function reachable
+// from a delivery-path entry point (onMessage, onPacket, onData, onAck …)
+// may block — not on the event-queue consumer API (EQWait), not on
+// channels, not on condition variables or sleeps. The delivery goroutine
+// is the analogue of the NIC control program: if it blocks on application
+// state, progress becomes application-driven, which is the GM/VIA failure
+// mode the paper argues against.
+type bypassCheck struct{}
+
+func (bypassCheck) Name() string { return "bypassviolation" }
+func (bypassCheck) Doc() string {
+	return "delivery paths (internal/nicsim, internal/rtscts on* handlers) must never block"
+}
+
+func (bypassCheck) Run(p *Program) []Diagnostic {
+	// Collect entry points from the analyzed packages.
+	type entry struct {
+		fn   *types.Func
+		name string
+	}
+	var entries []entry
+	for _, pkg := range p.Packages {
+		if !isDeliveryPackage(pkg.Path) {
+			continue
+		}
+		for fn, src := range p.funcSources() {
+			if src.pkg != pkg {
+				continue
+			}
+			if isDeliveryEntry(fn.Name()) {
+				entries = append(entries, entry{fn: fn, name: funcLabel(fn)})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	// BFS over the same-goroutine call graph from each entry, reporting
+	// every blocking operation at its own position with the shortest call
+	// chain that reaches it. Each position is reported once.
+	var diags []Diagnostic
+	reported := make(map[string]bool) // file:line dedup across entries
+	for _, e := range entries {
+		type node struct {
+			fn    *types.Func
+			chain []string
+		}
+		visited := map[*types.Func]bool{e.fn: true}
+		queue := []node{{fn: e.fn, chain: []string{e.name}}}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			s := p.summary(n.fn)
+			for i := range s.ops {
+				op := &s.ops[i]
+				pos := p.Fset.Position(op.pos)
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				msg := op.desc + " on the delivery path"
+				if len(n.chain) > 1 {
+					msg += " (reached via " + strings.Join(n.chain, " -> ") + ")"
+				} else {
+					msg += " (in delivery handler " + e.name + ")"
+				}
+				diags = append(diags, Diagnostic{Pos: pos, Check: "bypassviolation", Message: msg})
+			}
+			for _, c := range s.calls {
+				if visited[c.fn] {
+					continue
+				}
+				// Only descend into functions we have bodies for (module
+				// code); interface calls are dynamic and already excluded
+				// by the summary.
+				if _, ok := p.funcSources()[c.fn]; !ok {
+					continue
+				}
+				visited[c.fn] = true
+				chain := append(append([]string(nil), n.chain...), funcLabel(c.fn))
+				queue = append(queue, node{fn: c.fn, chain: chain})
+			}
+		}
+	}
+	return diags
+}
+
+func isDeliveryPackage(path string) bool {
+	for _, suffix := range deliveryPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeliveryEntry matches handler names: onMessage, onPacket, onData, …
+func isDeliveryEntry(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "on") && name[2] >= 'A' && name[2] <= 'Z'
+}
+
+// funcLabel renders "Type.Method" or "pkgname.Func" for call chains.
+func funcLabel(fn *types.Func) string {
+	if recv := recvNamed(fn); recv != nil {
+		return recv.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

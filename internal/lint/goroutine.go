@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// goroutineCheck verifies that every goroutine launched in non-test code
+// has a reachable shutdown path. The failure shape it targets is the
+// unkillable worker: `go func() { for { work() } }()`. A goroutine whose
+// body runs to completion is fine; an unconditional loop is fine if it can
+// exit — through a return, a break of that loop, a select (whose cases can
+// observe a closed done channel), or a channel receive/range (which
+// unblocks on close). A loop with none of these outlives every shutdown
+// signal the program could send.
+type goroutineCheck struct{}
+
+func (goroutineCheck) Name() string { return "goroutinelifecycle" }
+func (goroutineCheck) Doc() string {
+	return "every goroutine in non-test code has a reachable shutdown path"
+}
+
+func (goroutineCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goBody(p, pkg, g)
+				if body == nil {
+					return true
+				}
+				forEachStmt(body, func(s ast.Stmt) {
+					loop, ok := s.(*ast.ForStmt)
+					if !ok || !isUnconditional(loop) {
+						return
+					}
+					label := labelOf(body, loop)
+					if !loopCanExit(loop, label) {
+						diags = append(diags, Diagnostic{
+							Pos:   p.Fset.Position(g.Pos()),
+							Check: "goroutinelifecycle",
+							Message: "goroutine loops forever with no shutdown path (unconditional for at line " +
+								itoaLine(p, loop.Pos()) + " has no return, break, select, or channel receive)",
+						})
+					}
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// goBody resolves the function a go statement runs: a literal's body, or
+// the body of a statically known module function.
+func goBody(p *Program, pkg *Package, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeOf(pkg.Info, g.Call); fn != nil {
+		if src, ok := p.funcSources()[fn]; ok {
+			return src.decl.Body
+		}
+	}
+	return nil
+}
+
+// forEachStmt visits every statement in body, not descending into nested
+// function literals.
+func forEachStmt(body *ast.BlockStmt, f func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			f(s)
+		}
+		return true
+	})
+}
+
+// isUnconditional matches `for {` and `for true {`.
+func isUnconditional(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	id, ok := loop.Cond.(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// labelOf finds the label attached to a loop, if any.
+func labelOf(body *ast.BlockStmt, loop *ast.ForStmt) string {
+	label := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok && ls.Stmt == loop {
+			label = ls.Label.Name
+		}
+		return true
+	})
+	return label
+}
+
+// loopCanExit reports whether the loop body contains a way out: a return,
+// a break that targets this loop, a select statement, or a channel
+// receive/range. Breaks inside nested loops, switches, and selects target
+// those constructs, not this loop, and do not count unless labeled.
+func loopCanExit(loop *ast.ForStmt, label string) bool {
+	exits := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil || exits {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.SelectStmt:
+			exits = true // cases can observe a closed channel
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				exits = true // receive unblocks (zero value) when closed
+				return
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				if n.Label == nil && depth == 0 {
+					exits = true
+				} else if n.Label != nil && label != "" && n.Label.Name == label {
+					exits = true
+				}
+			}
+			if n.Tok == token.GOTO {
+				exits = true // conservatively assume the target leaves
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			depth++
+		}
+		// Manual recursion so depth is tracked per subtree.
+		children(n, func(c ast.Node) { walk(c, depth) })
+	}
+	walk(loop.Body, 0)
+	return exits
+}
+
+// children invokes f once per direct child of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
+func itoaLine(p *Program, pos token.Pos) string {
+	return strconv.Itoa(p.Fset.Position(pos).Line)
+}

@@ -1,0 +1,252 @@
+// Package lint implements portalsvet, the repo's custom static-analysis
+// suite. It enforces the architectural invariants that encode the paper's
+// defining property — application bypass (§5.1: data flows "with virtually
+// no application processing") — as concurrency discipline:
+//
+//   - bypassviolation: delivery-path code (internal/nicsim, internal/rtscts)
+//     must never block on application-facing APIs.
+//   - lockdiscipline: no blocking operation while a sync.Mutex/RWMutex is
+//     held, and every Lock has an Unlock on all paths.
+//   - atomicsonly: hot-path counter types (stats.Counters and friends) use
+//     sync/atomic fields exclusively (§4.8's counters are touched by the
+//     delivery engine; a plain field would need the very locks bypass
+//     forbids).
+//   - checkederr: error results of the public portals API and the
+//     internal/core initiators are never silently discarded.
+//   - goroutinelifecycle: every goroutine launched in non-test code has a
+//     reachable shutdown path.
+//
+// The implementation uses only the Go standard library (go/ast, go/parser,
+// go/token, go/types); the module has zero external dependencies and must
+// stay that way.
+//
+// Findings can be suppressed with a directive on the offending line or the
+// line directly above it:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: [check] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Check is a named, individually runnable and suppressible analysis.
+type Check interface {
+	Name() string
+	Doc() string
+	Run(p *Program) []Diagnostic
+}
+
+// AllChecks returns every check in its canonical order.
+func AllChecks() []Check {
+	return []Check{
+		bypassCheck{},
+		lockCheck{},
+		atomicsCheck{},
+		checkedErrCheck{},
+		goroutineCheck{},
+	}
+}
+
+// Package is one type-checked package of the analyzed module.
+type Package struct {
+	Path  string
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Program is the loaded module: the packages selected for analysis plus
+// every local dependency (needed for the cross-package call graph).
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Packages are the packages diagnostics are reported for.
+	Packages []*Package
+	// All maps import path to every loaded local package, Packages included.
+	All map[string]*Package
+
+	funcs    map[*types.Func]*funcSource
+	summarys map[*types.Func]*blockSummary
+}
+
+// funcSource is the body of a module function, for call-graph traversal.
+type funcSource struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// Run executes the given checks (all of them if checks is nil), filters
+// suppressed findings, and returns the rest sorted by position. Malformed
+// suppression directives are appended as their own diagnostics.
+func (p *Program) Run(checks []Check) []Diagnostic {
+	if checks == nil {
+		checks = AllChecks()
+	}
+	var diags []Diagnostic
+	for _, c := range checks {
+		diags = append(diags, c.Run(p)...)
+	}
+	sup, bad := p.suppressions()
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+// suppressionSet indexes //lint:ignore directives by file and line.
+type suppressionSet map[string]map[int][]string // file -> line -> check names
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line and the line below
+	// (i.e. it may trail the statement or sit directly above it).
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// suppressions scans every analyzed file for //lint:ignore directives.
+func (p *Program) suppressions() (suppressionSet, []Diagnostic) {
+	set := make(suppressionSet)
+	var bad []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Check:   "badsuppress",
+							Message: "malformed //lint:ignore directive: want \"//lint:ignore check reason\"",
+						})
+						continue
+					}
+					m := set[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						set[pos.Filename] = m
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						m[pos.Line] = append(m[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// funcSources lazily indexes every function declaration with a body across
+// all loaded local packages, keyed by its types object.
+func (p *Program) funcSources() map[*types.Func]*funcSource {
+	if p.funcs != nil {
+		return p.funcs
+	}
+	p.funcs = make(map[*types.Func]*funcSource)
+	for _, pkg := range p.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcs[obj] = &funcSource{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return p.funcs
+}
+
+// isLocal reports whether path belongs to the analyzed module.
+func (p *Program) isLocal(path string) bool {
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// calleeOf resolves a call expression to its static callee, or nil for
+// dynamic calls (function values, interface methods) and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of a function's package ("" for
+// builtins).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method's receiver (through one
+// pointer), or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks an in-memory module and compares the diagnostics
+// against `// want:<check>[,<check>]` markers in the fixture source: every
+// marked line must produce exactly the named findings, and no unmarked
+// finding may appear.
+func runFixture(t *testing.T, pkgs map[string]map[string]string, checks []Check) {
+	t.Helper()
+	prog, err := LoadSource("repro", pkgs)
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	got := make(map[string]int)
+	for _, d := range prog.Run(checks) {
+		got[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Check)]++
+	}
+	want := make(map[string]int)
+	for _, files := range pkgs {
+		for name, src := range files {
+			for i, line := range strings.Split(src, "\n") {
+				_, mark, ok := strings.Cut(line, "// want:")
+				if !ok {
+					continue
+				}
+				for _, check := range strings.Split(strings.Fields(mark)[0], ",") {
+					want[fmt.Sprintf("%s:%d:%s", name, i+1, check)]++
+				}
+			}
+		}
+	}
+	var problems []string
+	for k, n := range want {
+		if got[k] != n {
+			problems = append(problems, fmt.Sprintf("want %d finding(s) %s, got %d", n, k, got[k]))
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			problems = append(problems, fmt.Sprintf("unexpected finding %s (x%d)", k, n))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, d := range prog.Run(checks) {
+			t.Logf("diag: %s", d)
+		}
+		t.Fatalf("diagnostic mismatch:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+func TestBypassViolation(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/rtscts": {"conn.go": `package rtscts
+
+type Conn struct{ ch chan int }
+
+func (c *Conn) onPacket() { c.route() }
+
+func (c *Conn) route() {
+	<-c.ch // want:bypassviolation
+}
+
+func (c *Conn) onData() {
+	//lint:ignore bypassviolation suppression fixture
+	x := <-c.ch
+	_ = x
+}
+
+// notDelivery is not an on* handler; blocking here is fine.
+func (c *Conn) notDelivery() { <-c.ch }
+`},
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+import "time"
+
+type EQ struct{}
+
+func (*EQ) EQWait() {}
+
+type Node struct{ eq *EQ }
+
+func (n *Node) onMessage() {
+	n.eq.EQWait() // want:bypassviolation
+	n.nap()
+}
+
+func (n *Node) nap() {
+	time.Sleep(time.Millisecond) // want:bypassviolation
+}
+`},
+		"repro/internal/other": {"other.go": `package other
+
+// Same handler shape, but not a delivery package: no findings.
+type T struct{ ch chan int }
+
+func (t *T) onThing() { <-t.ch }
+`},
+	}, []Check{bypassCheck{}})
+}
+
+func TestLockDiscipline(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/ld": {"ld.go": `package ld
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+}
+
+func (s *S) missingUnlock(b bool) {
+	s.mu.Lock()
+	if b {
+		return // want:lockdiscipline
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) blockUnderLock() {
+	s.mu.Lock()
+	<-s.ch // want:lockdiscipline
+	s.mu.Unlock()
+}
+
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want:lockdiscipline
+	s.mu.Unlock()
+}
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want:lockdiscipline
+	s.mu.Unlock()
+}
+
+func (s *S) helperBlocks() { <-s.ch }
+
+func (s *S) callsBlockerUnderLock() {
+	s.mu.Lock()
+	s.helperBlocks() // want:lockdiscipline
+	s.mu.Unlock()
+}
+
+func (s *S) deferIsFine() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1
+}
+
+func (s *S) condWaitIsFine() {
+	s.mu.Lock()
+	for {
+		s.cond.Wait()
+		break
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) selectWithDefaultIsFine() {
+	s.mu.Lock()
+	select {
+	case <-s.ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) branchesBothUnlock(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) suppressed() {
+	s.mu.Lock()
+	//lint:ignore lockdiscipline suppression fixture
+	<-s.ch
+	s.mu.Unlock()
+}
+`},
+	}, []Check{lockCheck{}})
+}
+
+func TestAtomicsOnly(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/st": {"st.go": `package st
+
+import "sync/atomic"
+
+type GoodStats struct {
+	n   atomic.Int64
+	arr [4]atomic.Int64
+	b   atomic.Bool
+}
+
+type BadCounters struct {
+	n  int64 // want:atomicsonly
+	ok atomic.Int64
+}
+
+func bump(c *BadCounters) {
+	c.n++ // want:atomicsonly
+	c.ok.Add(1)
+}
+
+type QuietStats struct {
+	//lint:ignore atomicsonly suppression fixture
+	m int64
+}
+
+// Snapshot-style plain structs are not counter types.
+type Snapshot struct{ N int64 }
+`},
+	}, []Check{atomicsCheck{}})
+}
+
+func TestCheckedErr(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/core": {"core.go": `package core
+
+type State struct{}
+
+func (s *State) Put() error  { return nil }
+func (s *State) Count() int  { return 0 }
+func Standalone() (int, error) { return 0, nil }
+`},
+		"repro/app": {"app.go": `package app
+
+import "repro/internal/core"
+
+func use(s *core.State) {
+	s.Put() // want:checkederr
+	_ = s.Put()
+	if err := s.Put(); err != nil {
+		_ = err
+	}
+	defer s.Put()
+	s.Count()
+	//lint:ignore checkederr suppression fixture
+	core.Standalone()
+}
+`},
+	}, []Check{checkedErrCheck{}})
+}
+
+func TestGoroutineLifecycle(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/gr": {"gr.go": `package gr
+
+func work() {}
+
+func leak() {
+	go func() { // want:goroutinelifecycle
+		for {
+			work()
+		}
+	}()
+}
+
+func leakNamed() {
+	go spin() // want:goroutinelifecycle
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func okSelect(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func okBreak(n int) {
+	go func() {
+		for {
+			if n > 0 {
+				break
+			}
+		}
+	}()
+}
+
+func okRunsToCompletion() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+}
+
+func innerBreakDoesNotCount() {
+	go func() { // want:goroutinelifecycle
+		for {
+			for {
+				break
+			}
+		}
+	}()
+}
+
+func suppressed() {
+	//lint:ignore goroutinelifecycle suppression fixture
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+`},
+	}, []Check{goroutineCheck{}})
+}
+
+func TestBadSuppressDirective(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/bs": {"bs.go": "package bs\n\n//lint:ignore lockdiscipline\nfunc f() {}\n"},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run(nil)
+	if len(diags) != 1 || diags[0].Check != "badsuppress" || diags[0].Pos.Line != 3 {
+		t.Fatalf("want one badsuppress finding at bs.go:3, got %v", diags)
+	}
+}
+
+// TestRepoIsClean is the self-hosting gate: the analyzer must exit clean
+// on the repository's own tree (real violations are fixed, intentional
+// exceptions annotated).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, d := range prog.Run(nil) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

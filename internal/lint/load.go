@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the module rooted at or above dir.
+//
+// Patterns name what to analyze: "./..." (everything under dir) or
+// individual package directories ("./internal/core"). Dependencies of the
+// selected packages that live in the same module are loaded too — checks
+// traverse them — but diagnostics are only reported for the selection.
+//
+// Only the standard library is used: module-local imports are resolved by
+// walking the module tree, everything else through go/importer's source
+// importer. Test files (_test.go) are not analyzed.
+func Load(dir string, patterns []string) (*Program, error) {
+	modRoot, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		files: func(path string) (map[string][]byte, error) {
+			return readPackageDir(filepath.Join(modRoot, strings.TrimPrefix(path, modPath)))
+		},
+	}
+	var roots []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := walkPackageDirs(modRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				roots = append(roots, importPathFor(modRoot, modPath, d))
+			}
+		default:
+			abs, err := filepath.Abs(filepath.Join(dir, pat))
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, importPathFor(modRoot, modPath, abs))
+		}
+	}
+	return l.program(roots)
+}
+
+// LoadSource type-checks an in-memory module, for the analyzer's own
+// tests: pkgs maps import path -> file name -> source. Every package in
+// pkgs is analyzed.
+func LoadSource(modPath string, pkgs map[string]map[string]string) (*Program, error) {
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		files: func(path string) (map[string][]byte, error) {
+			src, ok := pkgs[path]
+			if !ok {
+				return nil, fmt.Errorf("no such fixture package %q", path)
+			}
+			out := make(map[string][]byte, len(src))
+			for name, s := range src {
+				out[name] = []byte(s)
+			}
+			return out, nil
+		},
+	}
+	roots := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	return l.program(roots)
+}
+
+// loader resolves imports: module-local packages through the files hook,
+// everything else through the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	std     types.Importer
+	files   func(importPath string) (map[string][]byte, error)
+	pkgs    map[string]*Package
+	loading map[string]bool
+	errs    []error
+}
+
+func (l *loader) program(roots []string) (*Program, error) {
+	seen := make(map[string]bool)
+	var selected []*Package
+	for _, path := range roots {
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, pkg)
+	}
+	if len(l.errs) > 0 {
+		msgs := make([]string, 0, len(l.errs))
+		for _, e := range l.errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type errors:\n%s", strings.Join(msgs, "\n"))
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i].Path < selected[j].Path })
+	return &Program{
+		Fset:       l.fset,
+		ModulePath: l.modPath,
+		Packages:   selected,
+		All:        l.pkgs,
+	}, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one local package, memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	srcs, err := l.files(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("no Go files in %q", path)
+	}
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, srcs[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			l.errs = append(l.errs, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info) // errors collected above
+	pkg := &Package{Path: path, Pkg: tpkg, Info: info, Files: files}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// walkPackageDirs returns every directory under root that contains
+// analyzable Go files, skipping hidden directories, testdata, and vendor.
+func walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		srcs, err := readPackageDir(p)
+		if err == nil && len(srcs) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// readPackageDir reads the non-test Go sources of one directory.
+func readPackageDir(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make(map[string][]byte)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		srcs[full] = data
+	}
+	return srcs, nil
+}
+
+// importPathFor maps an absolute directory inside the module to its path.
+func importPathFor(modRoot, modPath, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockCheck enforces mutex discipline inside every function (and function
+// literal) of the analyzed packages:
+//
+//   - no blocking operation — channel send/receive, select without
+//     default, time.Sleep, network I/O, or a call into a module function
+//     that may block transitively — while a sync.Mutex/RWMutex is held;
+//   - every Lock()/RLock() is released on all paths out of the function
+//     (defer or explicit Unlock), and no mutex is re-locked while held.
+//
+// (*sync.Cond).Wait directly under its mutex is exempt: that is the
+// condition-variable contract.
+type lockCheck struct{}
+
+func (lockCheck) Name() string { return "lockdiscipline" }
+func (lockCheck) Doc() string {
+	return "no blocking while a mutex is held; every Lock has an Unlock on all paths"
+}
+
+func (lockCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						a := &lockFlow{prog: p, pkg: pkg}
+						a.run(fn.Body)
+						diags = append(diags, a.diags...)
+					}
+					return true // descend: literals inside get their own run
+				case *ast.FuncLit:
+					a := &lockFlow{prog: p, pkg: pkg}
+					a.run(fn.Body)
+					diags = append(diags, a.diags...)
+					return true
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// heldLock is the state of one mutex expression within a function.
+type heldLock struct {
+	pos      token.Pos // where it was locked
+	reader   bool      // RLock rather than Lock
+	deferred bool      // a defer Unlock covers release (still held for blocking checks)
+}
+
+// lockSet maps the printed mutex expression ("s.mu") to its state.
+type lockSet map[string]heldLock
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions two branch outcomes: a lock held on either incoming path
+// is treated as held (conservative for blocking and release checks).
+func merge(a, b lockSet) lockSet {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// flowResult describes how a statement sequence exits.
+type flowResult struct {
+	state      lockSet
+	terminated bool // control does not fall through (return/branch/goto)
+}
+
+// loopCtx accumulates the states that flow to a loop's exit via break, so
+// locks held at a break are still checked after the loop.
+type loopCtx struct {
+	label   string
+	breakSt []lockSet
+}
+
+// lockFlow is a conservative abstract interpreter over one function body.
+type lockFlow struct {
+	prog  *Program
+	pkg   *Package
+	diags []Diagnostic
+	loops []*loopCtx
+}
+
+func (a *lockFlow) report(pos token.Pos, format string, args ...any) {
+	a.diags = append(a.diags, Diagnostic{
+		Pos:     a.prog.Fset.Position(pos),
+		Check:   "lockdiscipline",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (a *lockFlow) run(body *ast.BlockStmt) {
+	res := a.stmts(body.List, lockSet{})
+	if !res.terminated {
+		a.checkRelease(body.End(), res.state)
+	}
+}
+
+// checkRelease fires at an exit point for every lock still held without a
+// covering defer.
+func (a *lockFlow) checkRelease(at token.Pos, st lockSet) {
+	for name, l := range st {
+		if !l.deferred {
+			a.report(at, "%s may still be held here (locked at line %d; missing Unlock on this path)",
+				name, a.prog.Fset.Position(l.pos).Line)
+		}
+	}
+}
+
+func (a *lockFlow) stmts(list []ast.Stmt, st lockSet) flowResult {
+	for _, s := range list {
+		res := a.stmt(s, st)
+		if res.terminated {
+			return res
+		}
+		st = res.state
+	}
+	return flowResult{state: st}
+}
+
+func (a *lockFlow) stmt(s ast.Stmt, st lockSet) flowResult {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return a.stmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return a.loop(inner, st, s.Label.Name)
+		}
+		return a.stmt(s.Stmt, st)
+
+	case *ast.ExprStmt:
+		return flowResult{state: a.expr(s.X, st)}
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st = a.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			st = a.expr(e, st)
+		}
+		return flowResult{state: st}
+
+	case *ast.IncDecStmt:
+		return flowResult{state: a.expr(s.X, st)}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						st = a.expr(e, st)
+					}
+				}
+			}
+		}
+		return flowResult{state: st}
+
+	case *ast.SendStmt:
+		st = a.expr(s.Chan, st)
+		st = a.expr(s.Value, st)
+		a.blockingOp(s.Pos(), "channel send", st)
+		return flowResult{state: st}
+
+	case *ast.DeferStmt:
+		// defer x.Unlock() covers release on every path; the lock stays
+		// held for blocking purposes.
+		if mu, op := a.lockOpOf(s.Call); mu != "" && (op == "Unlock" || op == "RUnlock") {
+			st = st.clone()
+			if l, ok := st[mu]; ok {
+				l.deferred = true
+				st[mu] = l
+			} else {
+				// defer before Lock (or helper releasing a caller-held
+				// lock): record it so a later Lock is considered covered.
+				st[mu] = heldLock{pos: s.Pos(), reader: op == "RUnlock", deferred: true}
+			}
+			return flowResult{state: st}
+		}
+		// Other defers: evaluate arguments now, body runs at return.
+		for _, arg := range s.Call.Args {
+			st = a.expr(arg, st)
+		}
+		return flowResult{state: st}
+
+	case *ast.GoStmt:
+		// The spawned function runs elsewhere; launching never blocks.
+		return flowResult{state: st}
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st = a.expr(e, st)
+		}
+		a.checkRelease(s.Pos(), st)
+		return flowResult{state: st, terminated: true}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if lc := a.findLoop(s.Label); lc != nil {
+				lc.breakSt = append(lc.breakSt, st.clone())
+			}
+		case token.GOTO:
+			// Rare; give up on this path conservatively.
+		}
+		return flowResult{state: st, terminated: true}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			res := a.stmt(s.Init, st)
+			st = res.state
+		}
+		st = a.expr(s.Cond, st)
+		thenRes := a.stmts(s.Body.List, st.clone())
+		elseRes := flowResult{state: st.clone()}
+		if s.Else != nil {
+			elseRes = a.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenRes.terminated && elseRes.terminated:
+			return flowResult{state: st, terminated: true}
+		case thenRes.terminated:
+			return flowResult{state: elseRes.state}
+		case elseRes.terminated:
+			return flowResult{state: thenRes.state}
+		default:
+			return flowResult{state: merge(thenRes.state, elseRes.state)}
+		}
+
+	case *ast.ForStmt, *ast.RangeStmt:
+		return a.loop(s, st, "")
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st).state
+		}
+		if s.Tag != nil {
+			st = a.expr(s.Tag, st)
+		}
+		return a.clauses(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st).state
+		}
+		st = a.stmt(s.Assign, st).state
+		return a.clauses(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			a.blockingOp(s.Pos(), "select without default", st)
+		}
+		var outs []lockSet
+		allTerm := len(s.Body.List) > 0
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cst := st.clone()
+			if cc.Comm != nil {
+				// The chosen comm op has already completed (or, with a
+				// default, did not block); analyze it for lock ops only.
+				switch comm := cc.Comm.(type) {
+				case *ast.AssignStmt:
+					for _, e := range comm.Rhs {
+						cst = a.exprNoBlock(e, cst)
+					}
+				case *ast.ExprStmt:
+					cst = a.exprNoBlock(comm.X, cst)
+				case *ast.SendStmt:
+					cst = a.exprNoBlock(comm.Chan, cst)
+					cst = a.exprNoBlock(comm.Value, cst)
+				}
+			}
+			res := a.stmts(cc.Body, cst)
+			if !res.terminated {
+				outs = append(outs, res.state)
+				allTerm = false
+			}
+		}
+		if allTerm {
+			return flowResult{state: st, terminated: true}
+		}
+		out := st
+		for _, o := range outs {
+			out = merge(out, o)
+		}
+		return flowResult{state: out}
+
+	default:
+		return flowResult{state: st}
+	}
+}
+
+// clauses analyzes switch/type-switch bodies. mayFallThrough notes that a
+// switch without a default keeps the entry state as one possible outcome.
+func (a *lockFlow) clauses(body *ast.BlockStmt, st lockSet, mayFallThrough bool) flowResult {
+	hasDefault := false
+	var outs []lockSet
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cst := st.clone()
+		for _, e := range cc.List {
+			cst = a.expr(e, cst)
+		}
+		res := a.stmts(cc.Body, cst)
+		if !res.terminated {
+			outs = append(outs, res.state)
+		}
+	}
+	out := lockSet{}
+	if !hasDefault && mayFallThrough || len(outs) == 0 {
+		out = st.clone()
+	}
+	for _, o := range outs {
+		out = merge(out, o)
+	}
+	return flowResult{state: out}
+}
+
+// loop analyzes for/range bodies: one abstract pass, then the exit state
+// is the union of the entry state, the fallthrough body state, and every
+// break state.
+func (a *lockFlow) loop(s ast.Stmt, st lockSet, label string) flowResult {
+	lc := &loopCtx{label: label}
+	a.loops = append(a.loops, lc)
+	defer func() { a.loops = a.loops[:len(a.loops)-1] }()
+
+	var body *ast.BlockStmt
+	entry := st
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Init != nil {
+			entry = a.stmt(s.Init, entry).state
+		}
+		if s.Cond != nil {
+			entry = a.expr(s.Cond, entry)
+		}
+		body = s.Body
+	case *ast.RangeStmt:
+		entry = a.expr(s.X, entry)
+		if t, ok := a.pkg.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				a.blockingOp(s.Pos(), "range over channel", entry)
+			}
+		}
+		body = s.Body
+	}
+	res := a.stmts(body.List, entry.clone())
+	out := entry.clone()
+	if !res.terminated {
+		out = merge(out, res.state)
+	}
+	for _, b := range lc.breakSt {
+		out = merge(out, b)
+	}
+	return flowResult{state: out}
+}
+
+func (a *lockFlow) findLoop(label *ast.Ident) *loopCtx {
+	if len(a.loops) == 0 {
+		return nil
+	}
+	if label == nil {
+		return a.loops[len(a.loops)-1]
+	}
+	for i := len(a.loops) - 1; i >= 0; i-- {
+		if a.loops[i].label == label.Name {
+			return a.loops[i]
+		}
+	}
+	return nil
+}
+
+// expr scans an expression for lock operations and blocking operations,
+// in syntactic order. Function literals are skipped (analyzed on their
+// own); their capture of a held lock is out of scope.
+func (a *lockFlow) expr(e ast.Expr, st lockSet) lockSet {
+	return a.scanExpr(e, st, true)
+}
+
+// exprNoBlock scans for lock operations only (used for select comm ops,
+// whose blocking nature is attributed to the select itself).
+func (a *lockFlow) exprNoBlock(e ast.Expr, st lockSet) lockSet {
+	return a.scanExpr(e, st, false)
+}
+
+func (a *lockFlow) scanExpr(e ast.Expr, st lockSet, reportBlocking bool) lockSet {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && reportBlocking {
+				a.blockingOp(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			st = a.call(n, st, reportBlocking)
+			return false // call handles its own descent
+		}
+		return true
+	})
+	return st
+}
+
+// call processes one call expression: argument scan, lock-state updates,
+// and blocking classification.
+func (a *lockFlow) call(c *ast.CallExpr, st lockSet, reportBlocking bool) lockSet {
+	for _, arg := range c.Args {
+		st = a.scanExpr(arg, st, reportBlocking)
+	}
+	if mu, op := a.lockOpOf(c); mu != "" {
+		return a.applyLockOp(c, mu, op, st)
+	}
+	fn := calleeOf(a.pkg.Info, c)
+	if fn == nil {
+		return st
+	}
+	if op, ok := classifyBlockingCall(fn); ok {
+		if reportBlocking && !op.condWait {
+			// Cond.Wait directly under its lock is the cv contract.
+			a.blockingOp(c.Pos(), op.desc, st)
+		}
+		return st
+	}
+	// A call into a module function that may block transitively is as bad
+	// as blocking here.
+	if reportBlocking && len(st) > 0 {
+		if _, local := a.prog.funcSources()[fn]; local {
+			if blocks, rep, via := a.prog.mayBlock(fn); blocks {
+				desc := rep.desc
+				if via != nil {
+					desc += " via " + funcLabel(via)
+				}
+				a.blockingOp(c.Pos(), "call to "+funcLabel(fn)+" (may block: "+desc+")", st)
+			}
+		}
+	}
+	return st
+}
+
+// blockingOp reports a blocking operation for every lock currently held.
+func (a *lockFlow) blockingOp(pos token.Pos, desc string, st lockSet) {
+	for name, l := range st {
+		a.report(pos, "%s while holding %s (locked at line %d)",
+			desc, name, a.prog.Fset.Position(l.pos).Line)
+	}
+}
+
+// applyLockOp updates the lock state for x.Lock/Unlock/RLock/RUnlock.
+func (a *lockFlow) applyLockOp(c *ast.CallExpr, mu, op string, st lockSet) lockSet {
+	st = st.clone()
+	switch op {
+	case "Lock":
+		if l, held := st[mu]; held && !l.reader && !l.deferred {
+			a.report(c.Pos(), "%s.Lock() while already held (locked at line %d): deadlock",
+				mu, a.prog.Fset.Position(l.pos).Line)
+		}
+		covered := st[mu].deferred // a defer Unlock recorded before the Lock
+		st[mu] = heldLock{pos: c.Pos(), deferred: covered}
+	case "RLock":
+		covered := st[mu].deferred
+		st[mu] = heldLock{pos: c.Pos(), reader: true, deferred: covered}
+	case "Unlock", "RUnlock":
+		delete(st, mu)
+	case "TryLock", "TryRLock":
+		// Result-dependent; too imprecise to track.
+	}
+	return st
+}
+
+// lockOpOf recognizes mutex method calls and returns the printed mutex
+// expression and the operation name.
+func (a *lockFlow) lockOpOf(c *ast.CallExpr) (mu, op string) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	tv, ok := a.pkg.Info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name
+	}
+	return "", ""
+}

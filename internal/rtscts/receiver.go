@@ -82,7 +82,16 @@ func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint
 				_ = binary.BigEndian.Uint64(m.msg) // announced length
 			}
 			if s, err := c.sender(src); err == nil {
-				s.sendCTS()
+				// The grant is issued off the delivery goroutine: sendCTS
+				// blocks while the Go-Back-N window toward src is full, and
+				// the acks that would open it arrive on this very goroutine
+				// (the src->us link delayer) — granting inline deadlocks the
+				// link once the window fills. Application bypass (§5.1)
+				// requires the delivery path itself never to wait on
+				// protocol backpressure. At most one RTS per peer is
+				// outstanding (the peer's run loop blocks on the grant), so
+				// this spawns at most one short-lived goroutine per peer.
+				go s.sendCTS()
 			}
 		case msgCTS:
 			c.mu.Lock()

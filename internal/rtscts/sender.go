@@ -155,6 +155,7 @@ func (s *peerSender) sendMessage(kind uint8, payload []byte) {
 			flags = flagFirst | kind<<msgKindShift
 			aux = total
 		}
+		//lint:ignore lockdiscipline txMu intentionally spans window waits: fragments of one message must stay contiguous on the stream (the receiver reassembles exactly one message at a time), so emission cannot release txMu while sendReliable waits for window space
 		s.sendReliable(flags, aux, rest[:n])
 		rest = rest[n:]
 		first = false

@@ -160,7 +160,7 @@ func (m *Machine) LaunchJob(n int) ([]*NI, error) {
 		ni, err := m.NIInit(NID(rank+1), 1, Limits{})
 		if err != nil {
 			for _, prev := range nis {
-				prev.Close()
+				_ = prev.Close() // best-effort unwind; the NIInit error is what matters
 			}
 			return nil, err
 		}

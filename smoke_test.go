@@ -174,6 +174,20 @@ func TestCmdMpibench(t *testing.T) {
 	}
 }
 
+func TestCmdPortalsvet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 300*time.Second, "./cmd/portalsvet", "-list")
+	for _, check := range []string{"bypassviolation", "lockdiscipline", "atomicsonly", "checkederr", "goroutinelifecycle"} {
+		if !strings.Contains(out, check) {
+			t.Errorf("portalsvet -list missing %q:\n%s", check, out)
+		}
+	}
+	// The tree must be clean under its own lint (nonzero exit fails here).
+	goRun(t, 300*time.Second, "./cmd/portalsvet", "./...")
+}
+
 func TestCmdSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short")
