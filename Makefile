@@ -25,8 +25,11 @@ short:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full suite and leaves a machine-readable summary in
+# BENCH_baseline.json (cmd/benchjson) for diffing across changes.
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE .
+	$(GO) test -bench=. -benchmem -run=NONE -json . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
 
 # Regenerate every paper experiment (EXPERIMENTS.md records one such run).
 sweep:

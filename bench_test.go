@@ -171,6 +171,101 @@ func BenchmarkTranslateDepth(b *testing.B) {
 	}
 }
 
+// benchTranslateClass targets the match index (docs/PERF.md): depth entries
+// where the incoming put matches only the LAST one. With exact=true every
+// entry has a fully-specified matchID and no ignore bits, so the indexed
+// walk is a hash lookup — constant in depth. With exact=false every entry
+// uses ignore bits (the residual class), so the walk stays linear in both
+// the indexed and the reference engine — the no-regression case.
+func benchTranslateClass(b *testing.B, depth int, exact bool) {
+	st := core.NewState(types.ProcessID{NID: 1, PID: 1},
+		types.Limits{MaxMEs: depth + 8, MaxMDs: depth + 8}, nil, &stats.Counters{})
+	buf := make([]byte, 64)
+	for i := 0; i < depth; i++ {
+		matchID := types.ProcessID{NID: 2, PID: types.PID(1000 + i)}
+		bits, ignore := types.MatchBits(i), types.MatchBits(0)
+		if !exact {
+			matchID = types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+			bits, ignore = types.MatchBits(i)<<8, types.MatchBits(0xFF)
+		}
+		me, err := st.MEAttach(0, matchID, bits, ignore, types.Retain, types.After)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.MDAttach(me, core.MD{
+			Start: buf, Threshold: types.ThresholdInfinite,
+			Options: types.MDOpPut | types.MDManageRemote,
+		}, types.Retain); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hit := depth - 1
+	initiator := types.ProcessID{NID: 2, PID: types.PID(1000 + hit)}
+	bits := types.MatchBits(hit)
+	if !exact {
+		bits = types.MatchBits(hit) << 8
+	}
+	h := wire.NewPut(initiator, types.ProcessID{NID: 1, PID: 1},
+		0, 0, bits, 0, types.Handle{Kind: types.KindMD, Index: 0, Gen: 0}, 8, types.NoAckReq)
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.HandleIncoming(&h, payload)
+	}
+	if st.Counters().Dropped() != 0 {
+		b.Fatalf("drops during translate bench: %v", st.Counters().Snapshot())
+	}
+}
+
+func BenchmarkTranslateExact(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries=%d", depth), func(b *testing.B) {
+			benchTranslateClass(b, depth, true)
+		})
+	}
+}
+
+func BenchmarkTranslateWildcard(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries=%d", depth), func(b *testing.B) {
+			benchTranslateClass(b, depth, false)
+		})
+	}
+}
+
+// BenchmarkTranslateAckPooled measures the full receive-and-ack fast path
+// at the engine level: translate, deliver, encode the ack into a pooled
+// buffer, recycle. Steady state must report 0 allocs/op.
+func BenchmarkTranslateAckPooled(b *testing.B) {
+	st := core.NewState(types.ProcessID{NID: 1, PID: 1},
+		types.Limits{}, nil, &stats.Counters{})
+	me, err := st.MEAttach(0, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+		1, 0, types.Retain, types.After)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.MDAttach(me, core.MD{
+		Start: make([]byte, 4096), Threshold: types.ThresholdInfinite,
+		Options: types.MDOpPut | types.MDManageRemote,
+	}, types.Retain); err != nil {
+		b.Fatal(err)
+	}
+	h := wire.NewPut(types.ProcessID{NID: 2, PID: 1}, types.ProcessID{NID: 1, PID: 1},
+		0, 0, 1, 0, types.Handle{Kind: types.KindMD, Index: 0, Gen: 0}, 1024, types.AckReq)
+	payload := make([]byte, 1024)
+	out := make([]core.Outbound, 0, 4)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = st.HandleIncomingInto(&h, payload, out[:0])
+		for j := range out {
+			out[j].Recycle()
+		}
+	}
+}
+
 // ------------------------------------------------------------------- E8 --
 
 func BenchmarkBandwidth(b *testing.B) {

@@ -1,0 +1,153 @@
+// Command benchjson converts a `go test -json -bench` event stream on
+// stdin into a machine-readable benchmark summary, so `make bench` leaves
+// a BENCH_baseline.json that tooling (and later PRs) can diff instead of
+// scraping console text.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run=NONE -json . | go run ./cmd/benchjson -o BENCH_baseline.json
+//
+// With no -o the summary is written to stdout. Lines that are not test2json
+// events or not benchmark results are ignored, so the tool is safe to put
+// at the end of any test pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// event is the subset of test2json's output record we need.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, MB/s, custom
+}
+
+// Summary is the whole file.
+type Summary struct {
+	Generated string            `json:"generated"` // RFC 3339
+	Env       map[string]string `json:"env,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+// benchLine matches "BenchmarkFoo/sub-8   123  456 ns/op  0 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// envLine matches the "goos: linux" style preamble go test prints.
+var envLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s+(.*)$`)
+
+func parse(r io.Reader) (*Summary, error) {
+	s := &Summary{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Env:       map[string]string{},
+		Results:   []Result{},
+	}
+	handleLine := func(pkg, line string) {
+		line = strings.TrimSpace(line)
+		if m := envLine.FindStringSubmatch(line); m != nil {
+			s.Env[m[1]] = m[2]
+			return
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return
+		}
+		res := Result{Name: m[1], Package: pkg, Iterations: iters}
+		// The tail is pairs: "<value> <unit>".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		s.Results = append(s.Results, res)
+	}
+	// A benchmark's console line arrives as TWO output events — the name is
+	// flushed before the run, the timing after — so fragments must be
+	// reassembled into lines (per package) before matching.
+	partial := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // not a test2json event; skip
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			handleLine(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	for pkg, rest := range partial {
+		if rest != "" {
+			handleLine(pkg, rest)
+		}
+	}
+	return s, sc.Err()
+}
+
+func run(in io.Reader, outPath string) error {
+	s, err := parse(in)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The first benchmark line arrives split across two events, the way go
+// test actually emits it: the name is flushed before the run, the timing
+// after.
+const sample = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"cpu: Intel(R) Xeon(R)\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTranslateExact/entries=4096-8         \t"}
+{"Action":"output","Package":"repro","Output":" 9802440\t       119.4 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTranslateAckPooled-8 \t 5000000\t 223.2 ns/op\t4586.99 MB/s\t 1 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+not even json
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env["goos"] != "linux" || s.Env["cpu"] != "Intel(R) Xeon(R)" {
+		t.Fatalf("env not captured: %v", s.Env)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(s.Results), s.Results)
+	}
+	r := s.Results[0]
+	if r.Name != "BenchmarkTranslateExact/entries=4096-8" || r.Iterations != 9802440 {
+		t.Fatalf("bad first result: %+v", r)
+	}
+	if r.NsPerOp != 119.4 {
+		t.Fatalf("ns/op = %v, want 119.4", r.NsPerOp)
+	}
+	if r.Metrics["allocs/op"] != 0 || r.Metrics["B/op"] != 0 {
+		t.Fatalf("bad metrics: %v", r.Metrics)
+	}
+	if s.Results[1].Metrics["MB/s"] != 4586.99 {
+		t.Fatalf("MB/s not captured: %v", s.Results[1].Metrics)
+	}
+}
+
+func TestParseIgnoresNonBench(t *testing.T) {
+	s, err := parse(strings.NewReader(`{"Action":"output","Output":"ok  \trepro\t0.5s\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 0 {
+		t.Fatalf("unexpected results: %+v", s.Results)
+	}
+}

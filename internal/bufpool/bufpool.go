@@ -1,0 +1,98 @@
+// Package bufpool provides the shared buffer pool behind the fast receive
+// path: ack/reply encoding in internal/core, outbound transmission in
+// internal/nicsim, and the per-packet copy in internal/transport/simnet all
+// draw from (and return to) the same size-classed sync.Pool, so the
+// steady-state delivery goroutine allocates nothing.
+//
+// Ownership rules (docs/PERF.md spells out the full contract): exactly one
+// owner at a time; whoever calls Get must arrange exactly one Release once
+// the bytes have been copied onward or written out. A buffer that is never
+// released is merely garbage-collected (a future pool miss, not a leak).
+// The contents of a fresh buffer are undefined — callers overwrite the
+// whole length they asked for.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from 256 B to 64 KiB; requests above the
+// largest class fall back to a plain allocation and are never pooled
+// (jumbo buffers would otherwise pin large memory in the pool).
+const (
+	minClassBits = 8
+	numClasses   = 9
+	maxPooled    = 1 << (minClassBits + numClasses - 1)
+)
+
+var classes [numClasses]sync.Pool
+
+// Package-level traffic counters, so the pool hit rate is observable no
+// matter which subsystem is calling (sync/atomic per the atomicsonly rule).
+var (
+	gets atomic.Int64
+	hits atomic.Int64
+	puts atomic.Int64
+)
+
+// Buf is a pooled byte buffer. The zero value is not usable; obtain one
+// from Get and hand it back with Release.
+type Buf struct {
+	b     []byte
+	class int8 // size-class index; -1 marks an unpooled (oversized) buffer
+	fresh bool // allocated by this Get rather than reused from the pool
+}
+
+// Bytes returns the buffer's contents: exactly the n bytes requested from
+// Get. The slice is invalid after Release.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Reused reports whether this buffer came out of the pool rather than from
+// a fresh allocation — the per-interface pool-hit counters feed off it.
+func (b *Buf) Reused() bool { return !b.fresh }
+
+// Release returns the buffer to its size class. Releasing an oversized
+// (unpooled) buffer is a no-op. The caller must not touch Bytes afterwards;
+// the next Get may hand the same memory to another goroutine.
+func (b *Buf) Release() {
+	if b == nil || b.class < 0 {
+		return
+	}
+	puts.Add(1)
+	b.b = b.b[:cap(b.b)]
+	classes[b.class].Put(b)
+}
+
+// classFor returns the smallest size class holding n bytes (n ≤ maxPooled).
+func classFor(n int) int {
+	c := 0
+	for 1<<(minClassBits+c) < n {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer of length n, reusing pooled memory when a buffer of
+// n's size class is available.
+func Get(n int) *Buf {
+	gets.Add(1)
+	if n > maxPooled {
+		return &Buf{b: make([]byte, n), class: -1, fresh: true}
+	}
+	c := classFor(n)
+	if v := classes[c].Get(); v != nil {
+		b := v.(*Buf)
+		b.b = b.b[:n]
+		b.fresh = false
+		hits.Add(1)
+		return b
+	}
+	return &Buf{b: make([]byte, n, 1<<(minClassBits+c)), class: int8(c), fresh: true}
+}
+
+// Usage reports the cumulative pool traffic: total Gets, how many of those
+// were satisfied from the pool, and total Releases back into it.
+func Usage() (getCount, hitCount, putCount int64) {
+	return gets.Load(), hits.Load(), puts.Load()
+}

@@ -1,0 +1,64 @@
+package bufpool
+
+import "testing"
+
+func TestGetSizesAndReuse(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 4096, maxPooled} {
+		b := Get(n)
+		if len(b.Bytes()) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(b.Bytes()))
+		}
+		b.Release()
+	}
+	// A released buffer of the same class should come back (single
+	// goroutine, no GC in between — sync.Pool keeps it in the local shard).
+	b := Get(512)
+	b.Release()
+	b2 := Get(300) // same 512-byte class
+	if !b2.Reused() {
+		t.Error("expected a pool hit for the just-released size class")
+	}
+	if len(b2.Bytes()) != 300 {
+		t.Errorf("reused buffer len = %d, want 300", len(b2.Bytes()))
+	}
+	b2.Release()
+}
+
+func TestOversizedUnpooled(t *testing.T) {
+	b := Get(maxPooled + 1)
+	if len(b.Bytes()) != maxPooled+1 {
+		t.Fatalf("len = %d", len(b.Bytes()))
+	}
+	if b.Reused() {
+		t.Error("oversized buffer cannot be a pool hit")
+	}
+	b.Release() // must be a safe no-op
+	if b.class >= 0 {
+		t.Error("oversized buffer must not carry a size class")
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	for _, tc := range []struct{ n, class int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2}, {maxPooled, numClasses - 1},
+	} {
+		if got := classFor(tc.n); got != tc.class {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.class)
+		}
+	}
+}
+
+func TestUsageCounters(t *testing.T) {
+	g0, _, p0 := Usage()
+	b := Get(64)
+	b.Release()
+	b = Get(64)
+	b.Release()
+	g1, h1, p1 := Usage()
+	if g1-g0 != 2 || p1-p0 != 2 {
+		t.Errorf("gets/puts delta = %d/%d, want 2/2", g1-g0, p1-p0)
+	}
+	if h1 < 1 {
+		t.Errorf("expected at least one recorded hit, have %d", h1)
+	}
+}

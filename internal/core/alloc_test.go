@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// TestRecvPutSteadyStateAllocs pins down the pooled fast path: once the
+// buffer pool is warm, delivering a put (including encoding its ack into a
+// pooled buffer) must not allocate. A persistent ME/MD pair with
+// ThresholdInfinite and MDManageRemote means no per-message state churn —
+// the steady state of a long-lived receive posting (docs/PERF.md).
+func TestRecvPutSteadyStateAllocs(t *testing.T) {
+	s := newState(t, aliceID)
+	any := types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}
+	me, err := s.MEAttach(0, any, 7, 0, types.Retain, types.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := make([]byte, 4096)
+	if _, err := s.MDAttach(me, MD{
+		Start:     region,
+		Threshold: types.ThresholdInfinite,
+		Options:   types.MDOpPut | types.MDTruncate | types.MDManageRemote,
+	}, types.Retain); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 256)
+	h := wire.Header{
+		Op:        wire.OpPut,
+		Flags:     wire.FlagAckRequested,
+		Initiator: bobID,
+		Target:    aliceID,
+		PtlIndex:  0,
+		MatchBits: 7,
+		RLength:   uint64(len(payload)),
+	}
+	out := make([]Outbound, 0, 4)
+
+	// Warm the pool's per-P private slot, then keep this goroutine on one P
+	// so the Get in the loop reliably hits it.
+	bufpool.Get(wire.HeaderSize).Release()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	if n := testing.AllocsPerRun(1000, func() {
+		out = s.HandleIncomingInto(&h, payload, out[:0])
+		if len(out) != 1 {
+			t.Fatal("put did not produce an ack")
+		}
+		out[0].Recycle()
+	}); n != 0 {
+		t.Fatalf("steady-state recvPut allocates %v times per run, want 0", n)
+	}
+}

@@ -71,13 +71,33 @@ func TestMEAttachOrdering(t *testing.T) {
 	// Order should be 3, 1, 2. Verify via delivery: a put with bits=1
 	// must skip entry 3 and land in entry 1's MD.
 	want := []types.MatchBits{3, 1, 2}
-	s.mu.Lock()
-	for i, me := range s.table[0] {
-		if me.matchBits != want[i] {
-			t.Errorf("entry %d bits = %d, want %d", i, me.matchBits, want[i])
+	if got := matchBitsOrder(s, 0); !equalBits(got, want) {
+		t.Errorf("match list order = %v, want %v", got, want)
+	}
+}
+
+// matchBitsOrder walks the portal's match list in order, for tests.
+func matchBitsOrder(s *State, ptl types.PtlIndex) []types.MatchBits {
+	p := s.table[ptl]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []types.MatchBits
+	for me := p.head; me != nil; me = me.next {
+		out = append(out, me.matchBits)
+	}
+	return out
+}
+
+func equalBits(a, b []types.MatchBits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	s.mu.Unlock()
+	return true
 }
 
 func TestMEInsertPositions(t *testing.T) {
@@ -94,13 +114,9 @@ func TestMEInsertPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []types.MatchBits{5, 10, 15}
-	s.mu.Lock()
-	for i, me := range s.table[0] {
-		if me.matchBits != want[i] {
-			t.Errorf("entry %d bits = %d, want %d", i, me.matchBits, want[i])
-		}
+	if got := matchBitsOrder(s, 0); !equalBits(got, want) {
+		t.Errorf("match list order = %v, want %v", got, want)
 	}
-	s.mu.Unlock()
 }
 
 func TestMEInsertStaleBase(t *testing.T) {

@@ -11,13 +11,13 @@ import (
 // EQAlloc creates an event queue with the given number of slots
 // (PtlEQAlloc). Event queues are circular (§4.8); see internal/eventq.
 func (s *State) EQAlloc(slots int) (types.Handle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return types.InvalidHandle, types.ErrClosed
-	}
 	if slots < 1 {
 		return types.InvalidHandle, fmt.Errorf("%w: event queue needs at least 1 slot", types.ErrInvalidArgument)
+	}
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.closed {
+		return types.InvalidHandle, types.ErrClosed
 	}
 	return s.eqs.alloc(eventq.New(slots))
 }
@@ -26,12 +26,12 @@ func (s *State) EQAlloc(slots int) (types.Handle, error) {
 // at it simply stop logging: the engine treats a vanished queue as "no
 // event queue", and an acknowledgment for it is dropped per §4.8.
 func (s *State) EQFree(h types.Handle) error {
-	s.mu.Lock()
+	s.resMu.Lock()
 	q, ok := s.eqs.lookup(h)
 	if ok {
 		s.eqs.release(h)
 	}
-	s.mu.Unlock()
+	s.resMu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
@@ -39,8 +39,9 @@ func (s *State) EQFree(h types.Handle) error {
 	return nil
 }
 
-// eq returns the queue for a handle, nil if the handle is invalid or stale.
-func (s *State) eqLocked(h types.Handle) *eventq.Queue {
+// eqRes returns the queue for a handle, nil if the handle is invalid or
+// stale. Caller holds resMu.
+func (s *State) eqRes(h types.Handle) *eventq.Queue {
 	if !h.IsValid() {
 		return nil
 	}
@@ -51,11 +52,18 @@ func (s *State) eqLocked(h types.Handle) *eventq.Queue {
 	return q
 }
 
-// lookupEQ resolves a handle to its queue under the state lock.
+// eqFor resolves a handle to its queue, taking resMu itself. Safe to call
+// with a portal lock or bindMu held (portal.mu/bindMu → resMu order).
+func (s *State) eqFor(h types.Handle) *eventq.Queue {
+	s.resMu.Lock()
+	q := s.eqRes(h)
+	s.resMu.Unlock()
+	return q
+}
+
+// lookupEQ resolves a handle to its queue or an error.
 func (s *State) lookupEQ(h types.Handle) (*eventq.Queue, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q := s.eqLocked(h)
+	q := s.eqFor(h)
 	if q == nil {
 		return nil, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}

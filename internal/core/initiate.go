@@ -8,6 +8,23 @@ import (
 	"repro/internal/wire"
 )
 
+// lookupMDOpen resolves an initiator-side descriptor handle, failing if
+// the state is closed. The caller must take d.owner and re-check
+// d.unlinked before using the descriptor.
+func (s *State) lookupMDOpen(md types.Handle) (*memDesc, error) {
+	s.resMu.Lock()
+	if s.closed {
+		s.resMu.Unlock()
+		return nil, types.ErrClosed
+	}
+	d, ok := s.mds.lookup(md)
+	s.resMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+	}
+	return d, nil
+}
+
 // StartPut builds the wire message for a put operation (Figure 1). The
 // descriptor's entire region is sent, as PtlPut specifies; the returned
 // Outbound is ready for the transport. A send event is posted to the
@@ -16,13 +33,13 @@ import (
 func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Outbound{}, types.ErrClosed
+	d, err := s.lookupMDOpen(md)
+	if err != nil {
+		return Outbound{}, err
 	}
-	d, ok := s.mds.lookup(md)
-	if !ok {
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
 		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
 	}
 	if !d.active() {
@@ -33,7 +50,7 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 	msg := wire.EncodeMessage(&h, d.view.readAt(0, size))
 	s.counters.Send(int(size))
 	d.consume()
-	if q := s.eqLocked(d.md.EQ); q != nil {
+	if q := s.eqFor(d.md.EQ); q != nil {
 		q.Post(eventq.Event{
 			Type:      types.EventSend,
 			Initiator: s.self,
@@ -46,7 +63,7 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 		})
 	}
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
-		s.unlinkMDLocked(d, true)
+		s.unlinkMD(d, true)
 	}
 	return Outbound{Dst: target, Msg: msg}, nil
 }
@@ -59,13 +76,13 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 func (s *State) StartGet(md types.Handle, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Outbound{}, types.ErrClosed
+	d, err := s.lookupMDOpen(md)
+	if err != nil {
+		return Outbound{}, err
 	}
-	d, ok := s.mds.lookup(md)
-	if !ok {
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
 		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
 	}
 	if !d.active() {

@@ -62,6 +62,34 @@ func (v ioView) writeAt(offset uint64, src []byte) {
 	}
 }
 
+// readInto gathers len(dst) bytes from the view at offset into dst. The
+// caller has already bounds-checked offset+len(dst) against size(); as
+// with writeAt, a zero-length gather is a no-op at any offset. Unlike
+// readAt it never allocates — the delivery engine uses it to build get
+// replies directly inside pooled buffers.
+func (v ioView) readInto(dst []byte, offset uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	if v.segments == nil {
+		copy(dst, v.flat[offset:])
+		return
+	}
+	for _, seg := range v.segments {
+		if len(dst) == 0 {
+			return
+		}
+		segLen := uint64(len(seg))
+		if offset >= segLen {
+			offset -= segLen
+			continue
+		}
+		n := copy(dst, seg[offset:])
+		dst = dst[n:]
+		offset = 0
+	}
+}
+
 // readAt gathers length bytes from the view at offset into a fresh
 // buffer. For contiguous descriptors it aliases the region (no copy);
 // the engine encodes the result under the state lock either way.

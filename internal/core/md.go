@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/eventq"
 	"repro/internal/types"
@@ -31,12 +32,17 @@ type MD struct {
 	UserPtr any
 }
 
-// memDesc is the internal state of an attached or bound descriptor.
+// memDesc is the internal state of an attached or bound descriptor. Its
+// mutable fields are guarded by owner: the owning portal's mutex for
+// attached descriptors, State.bindMu for free-floating (MDBind) ones. The
+// owner is fixed at creation, so recvAck/recvReply can resolve the handle
+// under resMu, drop resMu, take owner, and re-check unlinked.
 type memDesc struct {
 	md          MD
 	view        ioView // offset-addressed access, contiguous or segmented
 	handle      types.Handle
 	me          *matchEntry // nil for free-floating (MDBind) descriptors
+	owner       *sync.Mutex // lock guarding this descriptor's mutable state
 	unlinkOp    types.UnlinkOption
 	threshold   int32 // remaining operations; -1 = infinite
 	localOffset uint64
@@ -53,6 +59,8 @@ func (d *memDesc) consume() {
 	}
 }
 
+// validateMD checks the user-supplied descriptor. Caller holds resMu (the
+// event-queue handle is resolved against the table).
 func (s *State) validateMD(md MD) error {
 	if len(md.Segments) > 0 && md.Start != nil {
 		return fmt.Errorf("%w: MD specifies both Start and Segments", types.ErrInvalidArgument)
@@ -71,25 +79,50 @@ func (s *State) validateMD(md MD) error {
 	return nil
 }
 
+// allocMD validates the descriptor and reserves a handle slot, failing if
+// the state is closed. The caller holds d.owner.
+func (s *State) allocMD(d *memDesc) (types.Handle, error) {
+	s.resMu.Lock()
+	if s.closed {
+		s.resMu.Unlock()
+		return types.InvalidHandle, types.ErrClosed
+	}
+	if err := s.validateMD(d.md); err != nil {
+		s.resMu.Unlock()
+		return types.InvalidHandle, err
+	}
+	h, err := s.mds.alloc(d)
+	s.resMu.Unlock()
+	return h, err
+}
+
+// lookupMD resolves a handle under resMu. The caller must take d.owner and
+// re-check d.unlinked before touching mutable state (the descriptor may be
+// unlinked — and its slot reused — between the lookup and the lock).
+func (s *State) lookupMD(h types.Handle) (*memDesc, bool) {
+	s.resMu.Lock()
+	d, ok := s.mds.lookup(h)
+	s.resMu.Unlock()
+	return d, ok
+}
+
 // MDAttach creates a memory descriptor and appends it to the MD list of a
 // match entry (PtlMDAttach). unlinkOp selects whether exhausting the
 // threshold unlinks the descriptor (Figure 4's unlink step) or leaves it
 // inactive but linked.
 func (s *State) MDAttach(me types.Handle, md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return types.InvalidHandle, types.ErrClosed
-	}
-	entry, ok := s.mes.lookup(me)
+	entry, ok := s.lookupME(me)
 	if !ok {
 		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, me)
 	}
-	if err := s.validateMD(md); err != nil {
-		return types.InvalidHandle, err
+	p := s.table[entry.ptlIndex]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if entry.unlinked {
+		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, me)
 	}
-	d := &memDesc{md: md, view: viewOf(&md), me: entry, unlinkOp: unlinkOp, threshold: md.Threshold}
-	h, err := s.mds.alloc(d)
+	d := &memDesc{md: md, view: viewOf(&md), me: entry, owner: &p.mu, unlinkOp: unlinkOp, threshold: md.Threshold}
+	h, err := s.allocMD(d)
 	if err != nil {
 		return types.InvalidHandle, err
 	}
@@ -104,16 +137,10 @@ func (s *State) MDAttach(me types.Handle, md MD, unlinkOp types.UnlinkOption) (t
 // once its threshold is spent and no reply is outstanding — the idiom for
 // fire-and-forget send buffers.
 func (s *State) MDBind(md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return types.InvalidHandle, types.ErrClosed
-	}
-	if err := s.validateMD(md); err != nil {
-		return types.InvalidHandle, err
-	}
-	d := &memDesc{md: md, view: viewOf(&md), unlinkOp: unlinkOp, threshold: md.Threshold}
-	h, err := s.mds.alloc(d)
+	s.bindMu.Lock()
+	defer s.bindMu.Unlock()
+	d := &memDesc{md: md, view: viewOf(&md), owner: &s.bindMu, unlinkOp: unlinkOp, threshold: md.Threshold}
+	h, err := s.allocMD(d)
 	if err != nil {
 		return types.InvalidHandle, err
 	}
@@ -125,16 +152,19 @@ func (s *State) MDBind(md MD, unlinkOp types.UnlinkOption) (types.Handle, error)
 // the descriptor has operations in flight — §4.7: "the memory descriptor
 // must not be unlinked until the reply is received".
 func (s *State) MDUnlink(h types.Handle) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.mds.lookup(h)
+	d, ok := s.lookupMD(h)
 	if !ok {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	if d.pending > 0 {
 		return fmt.Errorf("%w: %d operations in flight", types.ErrMDInUse, d.pending)
 	}
-	s.unlinkMDLocked(d, false)
+	s.unlinkMD(d, false)
 	return nil
 }
 
@@ -144,22 +174,30 @@ func (s *State) MDUnlink(h types.Handle) error {
 // the caller can first drain them — this is the primitive MPI uses to
 // safely shrink/repoint receive buffers.
 func (s *State) MDUpdate(h types.Handle, newMD MD, testEQ types.Handle) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.mds.lookup(h)
+	d, ok := s.lookupMD(h)
 	if !ok {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	s.resMu.Lock()
 	if testEQ.IsValid() {
 		q, ok := s.eqs.lookup(testEQ)
 		if !ok {
+			s.resMu.Unlock()
 			return fmt.Errorf("%w: %v", types.ErrInvalidHandle, testEQ)
 		}
 		if q.Pending() > 0 {
+			s.resMu.Unlock()
 			return fmt.Errorf("%w: events pending, update refused", types.ErrMDInUse)
 		}
 	}
-	if err := s.validateMD(newMD); err != nil {
+	err := s.validateMD(newMD)
+	s.resMu.Unlock()
+	if err != nil {
 		return err
 	}
 	d.md = newMD
@@ -172,19 +210,25 @@ func (s *State) MDUpdate(h types.Handle, newMD MD, testEQ types.Handle) error {
 // MDStatus reports a descriptor's remaining threshold and local offset;
 // tests and higher layers use it to observe consumption.
 func (s *State) MDStatus(h types.Handle) (threshold int32, localOffset uint64, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.mds.lookup(h)
+	d, ok := s.lookupMD(h)
 	if !ok {
+		return 0, 0, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
 		return 0, 0, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	return d.threshold, d.localOffset, nil
 }
 
-// unlinkMDLocked removes the descriptor and, per Figure 4, cascades to the
-// match entry when the descriptor was its last and the entry asked for
+// unlinkMD removes the descriptor and, per Figure 4, cascades to the match
+// entry when the descriptor was its last and the entry asked for
 // auto-unlink. When byEngine is true an unlink event is posted.
-func (s *State) unlinkMDLocked(d *memDesc, byEngine bool) {
+//
+// The caller holds d.owner (which for attached descriptors IS the portal
+// lock the cascade needs) and must NOT hold resMu.
+func (s *State) unlinkMD(d *memDesc, byEngine bool) {
 	if d.unlinked {
 		return
 	}
@@ -200,17 +244,21 @@ func (s *State) unlinkMDLocked(d *memDesc, byEngine bool) {
 		// the memory descriptor list, the match entry will also be
 		// unlinked if its unlink flag has been set."
 		if len(me.mds) == 0 && me.unlink == types.Unlink {
-			s.unlinkMELocked(me)
+			s.unlinkME(s.table[me.ptlIndex], me)
 		}
 	}
+	var q *eventq.Queue
+	s.resMu.Lock()
 	if byEngine {
-		if q, ok := s.eqs.lookup(d.md.EQ); ok {
-			q.Post(eventq.Event{
-				Type:    types.EventUnlink,
-				MD:      d.handle,
-				UserPtr: d.md.UserPtr,
-			})
-		}
+		q = s.eqRes(d.md.EQ)
 	}
 	s.mds.release(d.handle)
+	s.resMu.Unlock()
+	if q != nil {
+		q.Post(eventq.Event{
+			Type:    types.EventUnlink,
+			MD:      d.handle,
+			UserPtr: d.md.UserPtr,
+		})
+	}
 }

@@ -9,6 +9,10 @@ import (
 // matchEntry is one element of a match list (Figure 3): two bit patterns
 // ("don't care" and "must match"), an initiator restriction, an unlink
 // flag, and an ordered list of memory descriptors.
+//
+// The entry doubles as a node of its portal's linked list and match index
+// (index.go); prev/next/seq and the mutable fields (mds, unlinked) are
+// guarded by the portal's mutex.
 type matchEntry struct {
 	handle     types.Handle
 	ptlIndex   types.PtlIndex
@@ -18,6 +22,9 @@ type matchEntry struct {
 	unlink     types.UnlinkOption
 	mds        []*memDesc
 	unlinked   bool
+
+	prev, next *matchEntry
+	seq        uint64 // order key within the match list (index.go)
 }
 
 // matches implements the Figure 3 semantics: a set of "don't care" bits
@@ -36,15 +43,13 @@ func (s *State) MEAttach(ptl types.PtlIndex, matchID types.ProcessID,
 	matchBits, ignoreBits types.MatchBits, unlink types.UnlinkOption,
 	pos types.InsertPosition) (types.Handle, error) {
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return types.InvalidHandle, types.ErrClosed
-	}
 	if int(ptl) >= len(s.table) {
 		return types.InvalidHandle, fmt.Errorf("%w: portal index %d out of range [0,%d]",
 			types.ErrInvalidArgument, ptl, len(s.table)-1)
 	}
+	p := s.table[ptl]
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	me := &matchEntry{
 		ptlIndex:   ptl,
 		matchID:    matchID,
@@ -52,16 +57,12 @@ func (s *State) MEAttach(ptl types.PtlIndex, matchID types.ProcessID,
 		ignoreBits: ignoreBits,
 		unlink:     unlink,
 	}
-	h, err := s.mes.alloc(me)
+	h, err := s.allocME(me)
 	if err != nil {
 		return types.InvalidHandle, err
 	}
 	me.handle = h
-	if pos == types.Before {
-		s.table[ptl] = append([]*matchEntry{me}, s.table[ptl]...)
-	} else {
-		s.table[ptl] = append(s.table[ptl], me)
-	}
+	p.attach(me, nil, pos)
 	return h, nil
 }
 
@@ -71,24 +72,14 @@ func (s *State) MEInsert(base types.Handle, matchID types.ProcessID,
 	matchBits, ignoreBits types.MatchBits, unlink types.UnlinkOption,
 	pos types.InsertPosition) (types.Handle, error) {
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return types.InvalidHandle, types.ErrClosed
-	}
-	ref, ok := s.mes.lookup(base)
+	ref, ok := s.lookupME(base)
 	if !ok {
 		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, base)
 	}
-	list := s.table[ref.ptlIndex]
-	at := -1
-	for i, e := range list {
-		if e == ref {
-			at = i
-			break
-		}
-	}
-	if at < 0 {
+	p := s.table[ref.ptlIndex]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ref.unlinked {
 		return types.InvalidHandle, fmt.Errorf("%w: %v not in its match list", types.ErrInvalidHandle, base)
 	}
 	me := &matchEntry{
@@ -98,29 +89,50 @@ func (s *State) MEInsert(base types.Handle, matchID types.ProcessID,
 		ignoreBits: ignoreBits,
 		unlink:     unlink,
 	}
-	h, err := s.mes.alloc(me)
+	h, err := s.allocME(me)
 	if err != nil {
 		return types.InvalidHandle, err
 	}
 	me.handle = h
-	if pos == types.After {
-		at++
-	}
-	list = append(list, nil)
-	copy(list[at+1:], list[at:])
-	list[at] = me
-	s.table[ref.ptlIndex] = list
+	p.attach(me, ref, pos)
 	return h, nil
+}
+
+// lookupME resolves a handle under resMu. The caller must take the owning
+// portal's lock and re-check me.unlinked before trusting the entry.
+func (s *State) lookupME(h types.Handle) (*matchEntry, bool) {
+	s.resMu.Lock()
+	me, ok := s.mes.lookup(h)
+	s.resMu.Unlock()
+	return me, ok
+}
+
+// allocME reserves a handle slot, failing if the state is closed. The
+// caller holds the portal lock (attach happens under it); resMu is taken
+// only for the table operation.
+func (s *State) allocME(me *matchEntry) (types.Handle, error) {
+	s.resMu.Lock()
+	if s.closed {
+		s.resMu.Unlock()
+		return types.InvalidHandle, types.ErrClosed
+	}
+	h, err := s.mes.alloc(me)
+	s.resMu.Unlock()
+	return h, err
 }
 
 // MEUnlink removes a match entry and unlinks (but does not invalidate the
 // handles of) any memory descriptors still attached; attached descriptors
 // are released as in PtlMEUnlink, which frees the whole chain.
 func (s *State) MEUnlink(h types.Handle) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	me, ok := s.mes.lookup(h)
+	me, ok := s.lookupME(h)
 	if !ok {
+		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
+	}
+	p := s.table[me.ptlIndex]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if me.unlinked {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	for _, md := range me.mds {
@@ -130,36 +142,38 @@ func (s *State) MEUnlink(h types.Handle) error {
 	}
 	for _, md := range me.mds {
 		md.unlinked = true
+	}
+	s.resMu.Lock()
+	for _, md := range me.mds {
 		s.mds.release(md.handle)
 	}
+	s.resMu.Unlock()
 	me.mds = nil
-	s.unlinkMELocked(me)
+	s.unlinkME(p, me)
 	return nil
 }
 
-// unlinkMELocked detaches the entry from its match list and frees its slot.
-func (s *State) unlinkMELocked(me *matchEntry) {
+// unlinkME detaches the entry from its match list and index and frees its
+// slot. The caller holds p.mu and must NOT hold resMu.
+func (s *State) unlinkME(p *portal, me *matchEntry) {
 	if me.unlinked {
 		return
 	}
 	me.unlinked = true
-	list := s.table[me.ptlIndex]
-	for i, e := range list {
-		if e == me {
-			s.table[me.ptlIndex] = append(list[:i], list[i+1:]...)
-			break
-		}
-	}
+	p.detach(me)
+	s.resMu.Lock()
 	s.mes.release(me.handle)
+	s.resMu.Unlock()
 }
 
 // MatchListLen reports the current length of the match list at a portal
 // index (used by tests and the memscale experiment).
 func (s *State) MatchListLen(ptl types.PtlIndex) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if int(ptl) >= len(s.table) {
 		return 0
 	}
-	return len(s.table[ptl])
+	p := s.table[ptl]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
 }

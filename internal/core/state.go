@@ -12,6 +12,13 @@
 // goroutine is the analogue of the Myrinet control program, and its
 // independence from application goroutines is what realizes application
 // bypass (§5.1).
+//
+// Locking (docs/PERF.md has the full story): delivery contends per portal
+// index, not globally. Each portal carries its own mutex; free-floating
+// (MDBind) descriptors share bindMu; the handle tables sit behind resMu.
+// The lock order is portal.mu or bindMu first, then resMu — resMu is a
+// leaf taken only for short table operations, and no code path ever holds
+// two portal locks or a portal lock together with bindMu.
 package core
 
 import (
@@ -28,21 +35,25 @@ import (
 // table, match entries, memory descriptors, event queues, and the ACL,
 // plus the interface counters.
 type State struct {
-	mu sync.Mutex
-
 	self   types.ProcessID
 	limits types.Limits
 
-	table [][]*matchEntry // portal table: index → ordered match list
+	table []*portal // portal table: index → match list + match index
 
-	mes slotTable[*matchEntry]
-	mds slotTable[*memDesc]
-	eqs slotTable[*eventq.Queue]
+	// bindMu is the owner lock for free-floating (MDBind) descriptors —
+	// the initiator-side analogue of a portal's delivery lock.
+	bindMu sync.Mutex
+
+	// resMu guards the handle tables and the closed flag. Lock order:
+	// portal.mu / bindMu before resMu, never the reverse.
+	resMu  sync.Mutex
+	mes    slotTable[*matchEntry]
+	mds    slotTable[*memDesc]
+	eqs    slotTable[*eventq.Queue]
+	closed bool
 
 	acl      *acl.List
 	counters *stats.Counters
-
-	closed bool
 }
 
 // NewState builds the Portals state for one process. The ACL comes
@@ -61,9 +72,12 @@ func NewState(self types.ProcessID, limits types.Limits, list *acl.List, counter
 	s := &State{
 		self:     self,
 		limits:   limits,
-		table:    make([][]*matchEntry, limits.MaxPtlIndex+1),
+		table:    make([]*portal, limits.MaxPtlIndex+1),
 		acl:      list,
 		counters: counters,
+	}
+	for i := range s.table {
+		s.table[i] = &portal{}
 	}
 	s.mes.init(types.KindME, limits.MaxMEs)
 	s.mds.init(types.KindMD, limits.MaxMDs)
@@ -86,15 +100,15 @@ func (s *State) ACL() *acl.List { return s.acl }
 // Close tears down the state: all event queues are closed so waiters wake,
 // and every subsequent operation fails with ErrClosed.
 func (s *State) Close() {
-	s.mu.Lock()
+	s.resMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.resMu.Unlock()
 		return
 	}
 	s.closed = true
 	var queues []*eventq.Queue
 	s.eqs.each(func(q *eventq.Queue) { queues = append(queues, q) })
-	s.mu.Unlock()
+	s.resMu.Unlock()
 	for _, q := range queues {
 		q.Close()
 	}
@@ -108,7 +122,8 @@ type slot[T any] struct {
 	live bool
 }
 
-// slotTable allocates fixed-size handle spaces for one object kind.
+// slotTable allocates fixed-size handle spaces for one object kind. All
+// access is under State.resMu.
 type slotTable[T any] struct {
 	kind  types.HandleKind
 	slots []slot[T]

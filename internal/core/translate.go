@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/eventq"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -13,6 +14,20 @@ import (
 type Outbound struct {
 	Dst types.ProcessID
 	Msg []byte
+
+	buf *bufpool.Buf // pooled backing for Msg; nil when Msg is plainly allocated
+}
+
+// Recycle returns the message's pooled buffer, if any; it is a no-op for
+// plainly-allocated messages. Call it exactly once, after the transport's
+// Send has returned (transports must not retain msg past Send — see
+// internal/transport). Msg is invalid afterwards.
+func (o *Outbound) Recycle() {
+	if o.buf != nil {
+		o.buf.Release()
+		o.buf = nil
+		o.Msg = nil
+	}
 }
 
 // HandleIncoming processes one incoming message per the §4.8 receive rules
@@ -24,21 +39,28 @@ type Outbound struct {
 // into the matched descriptor's user memory (the single copy that stands
 // in for the DMA on the Puma/Myrinet hardware).
 func (s *State) HandleIncoming(h *wire.Header, payload []byte) []Outbound {
+	return s.HandleIncomingInto(h, payload, nil)
+}
+
+// HandleIncomingInto is HandleIncoming appending into a caller-provided
+// slice, so a delivery engine that reuses its scratch slice (and Recycles
+// each Outbound after transmission) processes messages without allocating.
+func (s *State) HandleIncomingInto(h *wire.Header, payload []byte, out []Outbound) []Outbound {
 	switch h.Op {
 	case wire.OpPut:
-		return s.recvPut(h, payload)
+		return s.recvPut(h, payload, out)
 	case wire.OpGet:
-		return s.recvGet(h)
+		return s.recvGet(h, out)
 	case wire.OpAck:
 		s.recvAck(h)
-		return nil
+		return out
 	case wire.OpReply:
 		s.recvReply(h, payload)
-		return nil
+		return out
 	default:
 		// DecodeMessage rejects unknown ops; treat a stray one as a drop.
 		s.counters.Drop(types.DropBadTarget)
-		return nil
+		return out
 	}
 }
 
@@ -73,23 +95,78 @@ func accept(d *memDesc, h *wire.Header, want types.MDOptions) (offset, mlength u
 	return 0, 0, false
 }
 
-// translate performs the Figure 4 walk: search the match list at the
-// portal index for the first entry whose criteria match AND whose first
-// memory descriptor accepts the request. Both checks failing advance to
-// the next entry; reaching the end aborts the translation.
-func (s *State) translate(h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
-	if int(h.PtlIndex) >= len(s.table) {
-		return nil, 0, 0, types.DropBadPortal
-	}
+// translate performs the Figure 4 walk using the portal's match index
+// (index.go): the exact bucket for (matchBits, initiator), the
+// wildcard-initiator bucket for matchBits, and the residual list are
+// merged in seq order, so the first entry whose criteria match AND whose
+// first memory descriptor accepts the request is found exactly as a linear
+// walk would find it — but exact-match traffic resolves in O(1).
+// Caller holds p.mu.
+func (s *State) translate(p *portal, h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
 	if ok, reason := s.acl.Check(h.Cookie, h.Initiator, h.PtlIndex); !ok {
 		return nil, 0, 0, reason
 	}
-	for _, me := range s.table[h.PtlIndex] {
-		if !me.matches(h.Initiator, h.MatchBits) {
+	ex := p.exact[exactKey{h.MatchBits, h.Initiator.NID, h.Initiator.PID}]
+	any := p.anyInit[h.MatchBits]
+	res := p.residual
+	var i, j, k, steps int
+	for {
+		var cand *matchEntry
+		src := idxResidual
+		if i < len(ex) {
+			cand, src = ex[i], idxExact
+		}
+		if j < len(any) && (cand == nil || any[j].seq < cand.seq) {
+			cand, src = any[j], idxAnyInit
+		}
+		if k < len(res) && (cand == nil || res[k].seq < cand.seq) {
+			cand, src = res[k], idxResidual
+		}
+		if cand == nil {
+			break
+		}
+		switch src {
+		case idxExact:
+			i++
+		case idxAnyInit:
+			j++
+		default:
+			k++
+		}
+		steps++
+		// Hash-bucket candidates satisfy the Figure 3 criteria by
+		// construction; residual entries still need the full check.
+		if src == idxResidual && !cand.matches(h.Initiator, h.MatchBits) {
 			continue
 		}
 		// "While the match list is searched for a matching entry, only the
 		// first element in the memory descriptor list is considered."
+		if len(cand.mds) == 0 {
+			continue
+		}
+		d := cand.mds[0]
+		if offset, mlength, ok := accept(d, h, want); ok {
+			s.counters.MatchWalk(steps, src != idxResidual)
+			return d, offset, mlength, types.DropNone
+		}
+	}
+	s.counters.MatchWalk(steps, false)
+	return nil, 0, 0, types.DropNoMatch
+}
+
+// translateReference is the pre-index linear walk over the match list,
+// retained as the differential-testing oracle: the indexed translate must
+// return the same descriptor, offset, length, and drop reason on every
+// input (index_diff_test.go exercises this under randomized
+// attach/unlink/receive interleavings). Caller holds p.mu.
+func (s *State) translateReference(p *portal, h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
+	if ok, reason := s.acl.Check(h.Cookie, h.Initiator, h.PtlIndex); !ok {
+		return nil, 0, 0, reason
+	}
+	for me := p.head; me != nil; me = me.next {
+		if !me.matches(h.Initiator, h.MatchBits) {
+			continue
+		}
 		if len(me.mds) == 0 {
 			continue
 		}
@@ -104,12 +181,13 @@ func (s *State) translate(h *wire.Header, want types.MDOptions) (*memDesc, uint6
 // finishOperation applies the post-acceptance steps of Figure 4 in order:
 // consume the threshold, advance a locally-managed offset, log the event,
 // and unlink the descriptor (cascading to the match entry) if it is spent.
+// Caller holds the portal lock that owns d.
 func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Header, offset, mlength uint64) {
 	d.consume()
 	if d.md.Options&types.MDManageRemote == 0 {
 		d.localOffset = offset + mlength
 	}
-	if q := s.eqLocked(d.md.EQ); q != nil {
+	if q := s.eqFor(d.md.EQ); q != nil {
 		q.Post(eventq.Event{
 			Type:      evType,
 			Initiator: h.Initiator,
@@ -123,51 +201,68 @@ func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Head
 		})
 	}
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
-		s.unlinkMDLocked(d, true)
+		s.unlinkMD(d, true)
 	}
 }
 
-func (s *State) recvPut(h *wire.Header, payload []byte) []Outbound {
-	s.mu.Lock()
-	d, offset, mlength, reason := s.translate(h, types.MDOpPut)
+func (s *State) recvPut(h *wire.Header, payload []byte, out []Outbound) []Outbound {
+	if int(h.PtlIndex) >= len(s.table) {
+		s.counters.Drop(types.DropBadPortal)
+		return out
+	}
+	p := s.table[h.PtlIndex]
+	p.mu.Lock()
+	d, offset, mlength, reason := s.translate(p, h, types.MDOpPut)
 	if reason != types.DropNone {
-		s.mu.Unlock()
+		p.mu.Unlock()
 		s.counters.Drop(reason)
-		return nil
+		return out
 	}
 	d.view.writeAt(offset, payload[:mlength])
 	s.counters.Recv(int(mlength))
 	ackWanted := h.AckRequested() && d.md.Options&types.MDAckDisable == 0
 	s.finishOperation(d, types.EventPut, h, offset, mlength)
-	s.mu.Unlock()
+	p.mu.Unlock()
 
 	if !ackWanted {
-		return nil
+		return out
 	}
 	ack := wire.AckFor(h, mlength)
+	b := bufpool.Get(wire.HeaderSize)
+	s.counters.Pool(b.Reused())
+	wire.EncodeMessageInto(b.Bytes(), &ack, nil)
 	s.counters.Ack()
-	return []Outbound{{Dst: ack.Target, Msg: wire.EncodeMessage(&ack, nil)}}
+	return append(out, Outbound{Dst: ack.Target, Msg: b.Bytes(), buf: b})
 }
 
-func (s *State) recvGet(h *wire.Header) []Outbound {
-	s.mu.Lock()
-	d, offset, mlength, reason := s.translate(h, types.MDOpGet)
-	if reason != types.DropNone {
-		s.mu.Unlock()
-		s.counters.Drop(reason)
-		return nil
+func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
+	if int(h.PtlIndex) >= len(s.table) {
+		s.counters.Drop(types.DropBadPortal)
+		return out
 	}
-	// Encode while holding the lock so the data cannot be concurrently
-	// unlinked/reused between read and transmit (the hardware analogue is
-	// the NIC DMA-reading the region before completing the operation).
+	p := s.table[h.PtlIndex]
+	p.mu.Lock()
+	d, offset, mlength, reason := s.translate(p, h, types.MDOpGet)
+	if reason != types.DropNone {
+		p.mu.Unlock()
+		s.counters.Drop(reason)
+		return out
+	}
+	// Encode while holding the portal lock so the data cannot be
+	// concurrently unlinked/reused between read and transmit (the hardware
+	// analogue is the NIC DMA-reading the region before completing the
+	// operation). The reply is gathered straight into a pooled buffer.
 	reply := wire.ReplyFor(h, mlength)
-	msg := wire.EncodeMessage(&reply, d.view.readAt(offset, mlength))
+	b := bufpool.Get(wire.HeaderSize + int(mlength))
+	s.counters.Pool(b.Reused())
+	n := reply.Encode(b.Bytes())
+	d.view.readInto(b.Bytes()[n:], offset)
 	s.counters.Recv(0)
 	s.finishOperation(d, types.EventGet, h, offset, mlength)
-	s.mu.Unlock()
+	p.mu.Unlock()
 
 	s.counters.Reply()
-	return []Outbound{{Dst: reply.Target, Msg: msg}}
+	return append(out, Outbound{Dst: reply.Target, Msg: b.Bytes(), buf: b})
 }
 
 // recvAck implements §4.8: "upon receipt of an acknowledgment, the runtime
@@ -175,14 +270,18 @@ func (s *State) recvGet(h *wire.Header) []Outbound {
 // the event queue no longer exist, the message is simply discarded and the
 // dropped message count for the interface is incremented."
 func (s *State) recvAck(h *wire.Header) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.mds.lookup(h.MD)
+	d, ok := s.lookupMD(h.MD)
 	if !ok {
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
-	q := s.eqLocked(d.md.EQ)
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
+		s.counters.Drop(types.DropEQGone)
+		return
+	}
+	q := s.eqFor(d.md.EQ)
 	if q == nil {
 		s.counters.Drop(types.DropEQGone)
 		return
@@ -203,7 +302,7 @@ func (s *State) recvAck(h *wire.Header) {
 	// (send + ack) on its descriptor to survive until the ack lands.
 	d.consume()
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
-		s.unlinkMDLocked(d, true)
+		s.unlinkMD(d, true)
 	}
 }
 
@@ -212,16 +311,20 @@ func (s *State) recvAck(h *wire.Header) {
 // event queue in the memory descriptor has no space and is not null. ...
 // Every memory descriptor accepts and truncates incoming reply messages."
 func (s *State) recvReply(h *wire.Header, payload []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.mds.lookup(h.MD)
+	d, ok := s.lookupMD(h.MD)
 	if !ok {
+		s.counters.Drop(types.DropMDGone)
+		return
+	}
+	d.owner.Lock()
+	defer d.owner.Unlock()
+	if d.unlinked {
 		s.counters.Drop(types.DropMDGone)
 		return
 	}
 	var q *eventq.Queue
 	if d.md.EQ.IsValid() {
-		q = s.eqLocked(d.md.EQ)
+		q = s.eqFor(d.md.EQ)
 		if q != nil && !q.HasSpace() {
 			s.counters.Drop(types.DropEQFull)
 			return
@@ -247,6 +350,6 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 		})
 	}
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
-		s.unlinkMDLocked(d, true)
+		s.unlinkMD(d, true)
 	}
 }

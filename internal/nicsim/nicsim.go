@@ -112,6 +112,15 @@ func (n *Node) lookup(pid types.PID) *core.State {
 	return n.procs[pid]
 }
 
+// outScratch pools the per-message Outbound scratch slices so the delivery
+// engine's steady state allocates nothing (docs/PERF.md).
+var outScratch = sync.Pool{
+	New: func() any {
+		s := make([]core.Outbound, 0, 4)
+		return &s
+	},
+}
+
 // Send transmits an initiator-side or engine-generated message.
 func (n *Node) Send(out core.Outbound) error {
 	return n.ep.Send(out.Dst.NID, out.Msg)
@@ -140,14 +149,20 @@ func (n *Node) onMessage(src types.NID, msg []byte) {
 			burn(n.cfg.InterruptCost)
 		}
 	}
-	for _, out := range state.HandleIncoming(&h, payload) {
-		if err := n.Send(out); err != nil {
-			// A response that cannot be transmitted is dropped silently,
-			// like an ack on a failed link; the initiator's protocol
-			// copes (Portals acks are advisory).
-			continue
-		}
+	sp := outScratch.Get().(*[]core.Outbound)
+	outs := state.HandleIncomingInto(&h, payload, (*sp)[:0])
+	for i := range outs {
+		// A response that cannot be transmitted is dropped silently, like
+		// an ack on a failed link; the initiator's protocol copes
+		// (Portals acks are advisory).
+		_ = n.Send(outs[i])
+		// The transport does not retain the message past Send (see
+		// internal/transport), so its pooled buffer can go back now.
+		outs[i].Recycle()
+		outs[i] = core.Outbound{}
 	}
+	*sp = outs[:0]
+	outScratch.Put(sp)
 }
 
 // Close detaches the node. Process states are not closed — they belong to

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/types"
 )
 
@@ -13,6 +14,12 @@ import (
 // injection, and a delayer goroutine that holds each packet for the wire
 // latency. Splitting pacing from latency lets packet k+1's serialization
 // overlap packet k's flight, as on real hardware.
+//
+// Packets travel as pooled buffers (internal/bufpool): enqueue copies the
+// caller's bytes into one, and whichever stage removes a packet from the
+// pipeline — loss, tail drop, shutdown, or final delivery — releases it.
+// Duplication emits an independent pooled copy, never the same buffer
+// twice (the delayer releases each buffer exactly once).
 type link struct {
 	net *Network
 	src types.NID
@@ -20,17 +27,17 @@ type link struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []*bufpool.Buf
 	closed bool
 
 	wire chan timedPkt // pacer → delayer
 
-	held []byte // reorder buffer: a packet waiting to swap with its successor
+	held *bufpool.Buf // reorder buffer: a packet waiting to swap with its successor
 }
 
 type timedPkt struct {
 	arrival time.Time
-	pkt     []byte
+	pkt     *bufpool.Buf
 }
 
 func newLink(n *Network, src, dst types.NID) *link {
@@ -42,15 +49,19 @@ func newLink(n *Network, src, dst types.NID) *link {
 }
 
 func (l *link) enqueue(pkt []byte) {
-	cp := make([]byte, len(pkt))
-	copy(cp, pkt)
+	// The per-packet copy, into a pooled buffer: the transport contract
+	// lets the caller reuse pkt as soon as Send returns.
+	cp := bufpool.Get(len(pkt))
+	copy(cp.Bytes(), pkt)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		cp.Release()
 		return
 	}
-	if cap := l.net.cfg.QueueCap; cap > 0 && len(l.queue) >= cap {
+	if qcap := l.net.cfg.QueueCap; qcap > 0 && len(l.queue) >= qcap {
 		l.mu.Unlock()
+		cp.Release()
 		l.net.stats.TailDrops.Add(1)
 		l.net.stats.Lost.Add(1)
 		return
@@ -67,8 +78,12 @@ func (l *link) shutdown() {
 		return
 	}
 	l.closed = true
+	q := l.queue
 	l.queue = nil
 	l.mu.Unlock()
+	for _, b := range q {
+		b.Release()
+	}
 	l.cond.Broadcast()
 }
 
@@ -84,55 +99,79 @@ func (l *link) pace() {
 		}
 		if l.closed {
 			l.mu.Unlock()
+			if l.held != nil {
+				l.held.Release()
+				l.held = nil
+			}
 			close(l.wire)
 			return
 		}
 		pkt := l.queue[0]
+		l.queue[0] = nil
 		l.queue = l.queue[1:]
 		l.mu.Unlock()
 
-		// Fault injection. Loss removes the packet; duplication emits it
-		// twice; reordering holds it until the next packet passes.
+		// Fault injection. Loss removes the packet; duplication emits an
+		// independent copy; reordering holds a packet until the next one
+		// passes. emit is a fixed array so pacing allocates nothing.
 		if cfg.LossRate > 0 && l.net.random() < cfg.LossRate {
 			l.net.stats.Lost.Add(1)
+			pkt.Release()
 			continue
 		}
-		emit := [][]byte{pkt}
+		var emit [2]*bufpool.Buf
+		ne := 0
+		emit[ne] = pkt
+		ne++
 		if cfg.DupRate > 0 && l.net.random() < cfg.DupRate {
 			l.net.stats.Duplicated.Add(1)
-			emit = append(emit, pkt)
+			dup := bufpool.Get(len(pkt.Bytes()))
+			copy(dup.Bytes(), pkt.Bytes())
+			emit[ne] = dup
+			ne++
 		}
+		var after *bufpool.Buf // held packet goes AFTER this batch
 		if cfg.ReorderRate > 0 {
 			if l.held != nil {
-				emit = append(emit, l.held) // held packet goes AFTER this one
+				after = l.held
 				l.held = nil
 				l.net.stats.Reordered.Add(1)
 			} else if l.net.random() < cfg.ReorderRate {
-				l.held = emit[len(emit)-1]
-				emit = emit[:len(emit)-1]
+				ne--
+				l.held = emit[ne]
+				emit[ne] = nil
 			}
 		}
+		for _, p := range emit[:ne] {
+			l.transmit(p, &lastEnd, cfg)
+		}
+		if after != nil {
+			l.transmit(after, &lastEnd, cfg)
+		}
+	}
+}
 
-		for _, p := range emit {
-			now := time.Now()
-			start := now
-			if start.Before(lastEnd) {
-				start = lastEnd
-			}
-			end := start
-			if cfg.Bandwidth > 0 {
-				end = start.Add(time.Duration(float64(len(p)) / float64(cfg.Bandwidth) * float64(time.Second)))
-			}
-			lastEnd = end
-			sleepUntil(end) // link occupied while serializing
-			select {
-			case l.wire <- timedPkt{arrival: end.Add(cfg.Latency), pkt: p}:
-			default:
-				// Wire buffer overflow: treat as congestion drop.
-				l.net.stats.TailDrops.Add(1)
-				l.net.stats.Lost.Add(1)
-			}
-		}
+// transmit serializes one packet at the link bandwidth and hands it to the
+// delayer; a full wire buffer is a congestion drop, which releases the
+// packet here.
+func (l *link) transmit(p *bufpool.Buf, lastEnd *time.Time, cfg Config) {
+	start := time.Now()
+	if start.Before(*lastEnd) {
+		start = *lastEnd
+	}
+	end := start
+	if cfg.Bandwidth > 0 {
+		end = start.Add(time.Duration(float64(len(p.Bytes())) / float64(cfg.Bandwidth) * float64(time.Second)))
+	}
+	*lastEnd = end
+	sleepUntil(end) // link occupied while serializing
+	select {
+	case l.wire <- timedPkt{arrival: end.Add(cfg.Latency), pkt: p}:
+	default:
+		// Wire buffer overflow: treat as congestion drop.
+		l.net.stats.TailDrops.Add(1)
+		l.net.stats.Lost.Add(1)
+		p.Release()
 	}
 }
 
@@ -141,7 +180,10 @@ func (l *link) pace() {
 func (l *link) delay() {
 	for tp := range l.wire {
 		sleepUntil(tp.arrival)
-		l.net.deliver(l.src, l.dst, tp.pkt)
+		l.net.deliver(l.src, l.dst, tp.pkt.Bytes())
+		// The handler contract (PacketHandler) requires receivers to copy
+		// anything they retain, so the buffer can be recycled now.
+		tp.pkt.Release()
 	}
 }
 

@@ -30,6 +30,12 @@ type Endpoint interface {
 	// Send delivers msg to the node dst. It may block for pacing or flow
 	// control but returns once the message is accepted for reliable
 	// delivery (local completion). Send is safe for concurrent use.
+	//
+	// The implementation must not retain msg after Send returns: the
+	// caller may immediately reuse the buffer (the delivery engine
+	// recycles pooled ack/reply buffers this way — docs/PERF.md). Every
+	// in-tree transport either copies at enqueue (loopback, simnet,
+	// rtscts) or writes synchronously before returning (tcp).
 	Send(dst types.NID, msg []byte) error
 	// LocalNID reports the attached node id.
 	LocalNID() types.NID

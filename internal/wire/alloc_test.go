@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// The encode side of the fast path must not allocate: the delivery engine
+// encodes acks and replies into pooled buffers (docs/PERF.md), and any
+// hidden allocation here would show up on every received message.
+
+func TestEncodeAllocs(t *testing.T) {
+	h := Header{
+		Op:        OpPut,
+		Flags:     FlagAckRequested,
+		Initiator: types.ProcessID{NID: 1, PID: 10},
+		Target:    types.ProcessID{NID: 2, PID: 20},
+		MatchBits: 0xdead,
+		RLength:   32,
+	}
+	buf := make([]byte, HeaderSize)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Encode(buf)
+	}); n != 0 {
+		t.Fatalf("Header.Encode allocates %v times per run, want 0", n)
+	}
+}
+
+func TestEncodeMessageIntoAllocs(t *testing.T) {
+	h := Header{Op: OpAck, Initiator: types.ProcessID{NID: 1, PID: 10}, Target: types.ProcessID{NID: 2, PID: 20}}
+	payload := make([]byte, 64)
+	dst := make([]byte, HeaderSize+len(payload))
+	if n := testing.AllocsPerRun(1000, func() {
+		EncodeMessageInto(dst, &h, payload)
+	}); n != 0 {
+		t.Fatalf("EncodeMessageInto allocates %v times per run, want 0", n)
+	}
+}

@@ -180,12 +180,21 @@ func (h *Header) Decode(buf []byte) error {
 	return nil
 }
 
+// EncodeMessageInto encodes header+payload into dst, which must hold at
+// least HeaderSize+len(payload) bytes, and returns the number of bytes
+// written. It never allocates — the delivery engine's fast path encodes
+// acks and replies into pooled buffers through it.
+func EncodeMessageInto(dst []byte, h *Header, payload []byte) int {
+	n := h.Encode(dst)
+	n += copy(dst[n:], payload)
+	return n
+}
+
 // EncodeMessage allocates and returns header+payload as one buffer. The
 // payload is copied; transports own the returned slice.
 func EncodeMessage(h *Header, payload []byte) []byte {
 	buf := make([]byte, HeaderSize+len(payload))
-	h.Encode(buf)
-	copy(buf[HeaderSize:], payload)
+	EncodeMessageInto(buf, h, payload)
 	return buf
 }
 
