@@ -26,9 +26,12 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the full suite and leaves a machine-readable summary in
-# BENCH_baseline.json (cmd/benchjson) for diffing across changes.
+# BENCH_baseline.json (cmd/benchjson) for diffing across changes. BENCHCPUS
+# selects the -cpu variants; each result's GOMAXPROCS lands in the summary's
+# "cpus" field (names carry the usual "-N" suffix when N > 1).
+BENCHCPUS ?= 1,4
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE -json . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
 
 # Regenerate every paper experiment (EXPERIMENTS.md records one such run).

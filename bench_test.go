@@ -16,14 +16,18 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
+	"repro/internal/nicsim"
 	"repro/internal/rtscts"
 	"repro/internal/stats"
+	"repro/internal/transport/loopback"
 	"repro/internal/transport/simnet"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -481,6 +485,119 @@ func BenchmarkIOVecScatter(b *testing.B) {
 		}
 		run(b, portals.MD{Segments: segs})
 	})
+}
+
+// ------------------------------------------------------------------ E14 --
+
+// benchDeliveryLanes drives the multi-lane delivery engine (docs/PERF.md
+// §5) at full tilt: `initiators` nodes blast 4 KB puts at `initiators`
+// distinct processes on one target node, and the benchmark completes when
+// the target has received them all. Distinct (src NID, target PID) pairs
+// are distinct flows, so with enough lanes they process in parallel;
+// distinct target processes keep the portal locks disjoint too, so the
+// lanes — not a shared lock — are what is measured. No event queues are
+// armed: receive counters detect completion without an EQ consumer in the
+// timed path.
+func benchDeliveryLanes(b *testing.B, lanes, initiators int) {
+	net := loopback.New()
+	defer net.Close()
+	target, err := nicsim.NewNode(net, 100, nicsim.Config{Lanes: lanes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer target.Close()
+	rxStates := make([]*core.State, initiators)
+	for i := range rxStates {
+		pid := types.PID(10 + i)
+		st := core.NewState(types.ProcessID{NID: 100, PID: pid}, types.Limits{}, nil, &stats.Counters{})
+		if err := target.AddProcess(pid, st); err != nil {
+			b.Fatal(err)
+		}
+		me, err := st.MEAttach(0, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny}, 1, 0, types.Retain, types.After)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.MDAttach(me, core.MD{
+			Start: make([]byte, 4096), Threshold: types.ThresholdInfinite,
+			Options: types.MDOpPut | types.MDManageRemote,
+		}, types.Retain); err != nil {
+			b.Fatal(err)
+		}
+		rxStates[i] = st
+	}
+
+	type tx struct {
+		node  *nicsim.Node
+		state *core.State
+		md    types.Handle
+	}
+	senders := make([]tx, initiators)
+	for i := range senders {
+		node, err := nicsim.NewNode(net, types.NID(i+1), nicsim.Config{Lanes: lanes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer node.Close()
+		st := core.NewState(types.ProcessID{NID: types.NID(i + 1), PID: 1}, types.Limits{}, nil, &stats.Counters{})
+		if err := node.AddProcess(1, st); err != nil {
+			b.Fatal(err)
+		}
+		md, err := st.MDBind(core.MD{Start: make([]byte, 4096), Threshold: types.ThresholdInfinite}, types.Retain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		senders[i] = tx{node: node, state: st, md: md}
+	}
+
+	per := (b.N + initiators - 1) / initiators
+	total := int64(per * initiators)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := range senders {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := senders[i]
+			dst := types.ProcessID{NID: 100, PID: types.PID(10 + i)}
+			for j := 0; j < per; j++ {
+				out, err := s.state.StartPut(s.md, types.NoAckReq, dst, 0, 0, 1, 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := s.node.Send(out); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for {
+		var got int64
+		for _, st := range rxStates {
+			got += st.Counters().Snapshot().RecvMsgs
+		}
+		if got >= total {
+			break
+		}
+		runtime.Gosched()
+	}
+}
+
+// BenchmarkDeliveryLanes is the scaling grid for the multi-lane engine:
+// aggregate receive throughput must grow near-linearly with lanes while
+// lanes=1 stays within noise of the serial engine. Run with -cpu=1,4 to
+// see the lanes×GOMAXPROCS interaction (make bench records both).
+func BenchmarkDeliveryLanes(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4, 8} {
+		for _, initiators := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("lanes=%d/initiators=%d", lanes, initiators), func(b *testing.B) {
+				benchDeliveryLanes(b, lanes, initiators)
+			})
+		}
+	}
 }
 
 // ----------------------------------------------- eager/rendezvous knob --

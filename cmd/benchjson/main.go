@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -36,6 +37,7 @@ type event struct {
 type Result struct {
 	Name       string             `json:"name"`
 	Package    string             `json:"package,omitempty"`
+	Cpus       int                `json:"cpus,omitempty"` // GOMAXPROCS suffix ("-8"); 1 when absent
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, MB/s, custom
@@ -54,11 +56,18 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 // envLine matches the "goos: linux" style preamble go test prints.
 var envLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s+(.*)$`)
 
+// cpuSuffix matches the "-8" GOMAXPROCS suffix the testing package appends
+// to benchmark names whenever the run's GOMAXPROCS is not 1 (so `-cpu=1,4`
+// runs show up as "BenchmarkFoo" and "BenchmarkFoo-4").
+var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
+
 func parse(r io.Reader) (*Summary, error) {
 	s := &Summary{
 		Generated: time.Now().UTC().Format(time.RFC3339),
-		Env:       map[string]string{},
-		Results:   []Result{},
+		// gomaxprocs is the host default (benchjson runs on the same machine
+		// as the benchmarks); per-result Cpus records each -cpu variant.
+		Env:     map[string]string{"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0))},
+		Results: []Result{},
 	}
 	handleLine := func(pkg, line string) {
 		line = strings.TrimSpace(line)
@@ -74,7 +83,12 @@ func parse(r io.Reader) (*Summary, error) {
 		if err != nil {
 			return
 		}
-		res := Result{Name: m[1], Package: pkg, Iterations: iters}
+		res := Result{Name: m[1], Package: pkg, Cpus: 1, Iterations: iters}
+		if sm := cpuSuffix.FindStringSubmatch(res.Name); sm != nil {
+			if n, err := strconv.Atoi(sm[1]); err == nil && n > 1 {
+				res.Cpus = n
+			}
+		}
 		// The tail is pairs: "<value> <unit>".
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {

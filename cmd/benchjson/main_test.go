@@ -34,6 +34,9 @@ func TestParse(t *testing.T) {
 	if r.Name != "BenchmarkTranslateExact/entries=4096-8" || r.Iterations != 9802440 {
 		t.Fatalf("bad first result: %+v", r)
 	}
+	if r.Cpus != 8 || s.Results[1].Cpus != 8 {
+		t.Fatalf("GOMAXPROCS suffix not parsed: %+v", s.Results)
+	}
 	if r.NsPerOp != 119.4 {
 		t.Fatalf("ns/op = %v, want 119.4", r.NsPerOp)
 	}
@@ -42,6 +45,20 @@ func TestParse(t *testing.T) {
 	}
 	if s.Results[1].Metrics["MB/s"] != 4586.99 {
 		t.Fatalf("MB/s not captured: %v", s.Results[1].Metrics)
+	}
+}
+
+func TestParseNoCPUSuffix(t *testing.T) {
+	s, err := parse(strings.NewReader(
+		`{"Action":"output","Package":"repro","Output":"BenchmarkDeliveryLanes/lanes=4/initiators=4 \t 1000\t 3287 ns/op\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 || s.Results[0].Cpus != 1 {
+		t.Fatalf("suffix-free name should report cpus=1: %+v", s.Results)
+	}
+	if s.Results[0].Name != "BenchmarkDeliveryLanes/lanes=4/initiators=4" {
+		t.Fatalf("name mangled: %+v", s.Results[0])
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/eventq"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -47,7 +48,13 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 	}
 	size := d.view.size()
 	h := wire.NewPut(s.self, target, ptl, cookie, bits, remoteOffset, md, size, ack)
-	msg := wire.EncodeMessage(&h, d.view.readAt(0, size))
+	// Gather header+payload straight into a pooled buffer: a transport that
+	// implements SendBuf (loopback) carries this exact buffer to the target
+	// delivery engine, making the gather the only initiator-side copy.
+	b := bufpool.Get(wire.HeaderSize + int(size))
+	s.counters.Pool(b.Reused())
+	n := h.Encode(b.Bytes())
+	d.view.readInto(b.Bytes()[n:], 0)
 	s.counters.Send(int(size))
 	d.consume()
 	if q := s.eqFor(d.md.EQ); q != nil {
@@ -65,7 +72,7 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
 		s.unlinkMD(d, true)
 	}
-	return Outbound{Dst: target, Msg: msg}, nil
+	return Outbound{Dst: target, Msg: b.Bytes(), buf: b}, nil
 }
 
 // StartGet builds the wire message for a get operation (Figure 2). The
@@ -89,9 +96,11 @@ func (s *State) StartGet(md types.Handle, target types.ProcessID,
 		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
 	}
 	h := wire.NewGet(s.self, target, ptl, cookie, bits, remoteOffset, md, d.view.size())
-	msg := wire.EncodeMessage(&h, nil)
+	b := bufpool.Get(wire.HeaderSize)
+	s.counters.Pool(b.Reused())
+	h.Encode(b.Bytes())
 	s.counters.Send(0)
 	d.consume()
 	d.pending++
-	return Outbound{Dst: target, Msg: msg}, nil
+	return Outbound{Dst: target, Msg: b.Bytes(), buf: b}, nil
 }

@@ -30,6 +30,16 @@ func (o *Outbound) Recycle() {
 	}
 }
 
+// TakeBuf transfers ownership of the message's pooled buffer to the
+// caller; nil when the message is plainly allocated. Afterwards Recycle is
+// a no-op and the new owner releases the buffer — this is how a delivery
+// engine hands a message to a transport.BufSender without a copy.
+func (o *Outbound) TakeBuf() *bufpool.Buf {
+	b := o.buf
+	o.buf = nil
+	return b
+}
+
 // HandleIncoming processes one incoming message per the §4.8 receive rules
 // and returns any protocol responses to transmit. It is called by the
 // interface's delivery engine, never by the application; everything here
@@ -310,6 +320,14 @@ func (s *State) recvAck(h *wire.Header) {
 // memory descriptor identified in the request doesn't exist or if the
 // event queue in the memory descriptor has no space and is not null. ...
 // Every memory descriptor accepts and truncates incoming reply messages."
+//
+// The space check and the event post are one atomic reservation
+// (eventq.ReserveIfSpace). A HasSpace-then-Post pair has a TOCTOU window:
+// two delivery lanes replying into the last event slot could both pass
+// HasSpace and then overwrite each other's event — the §4.8 rule says the
+// *reply* is dropped when the queue is full, never an already-posted
+// event. Reserving up front pins the slot before the data is written, and
+// publishing after writeAt keeps the event invisible until its data is.
 func (s *State) recvReply(h *wire.Header, payload []byte) {
 	d, ok := s.lookupMD(h.MD)
 	if !ok {
@@ -322,12 +340,14 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 		s.counters.Drop(types.DropMDGone)
 		return
 	}
-	var q *eventq.Queue
+	var res eventq.Reservation
 	if d.md.EQ.IsValid() {
-		q = s.eqFor(d.md.EQ)
-		if q != nil && !q.HasSpace() {
-			s.counters.Drop(types.DropEQFull)
-			return
+		if q := s.eqFor(d.md.EQ); q != nil {
+			var ok bool
+			if res, ok = q.ReserveIfSpace(); !ok {
+				s.counters.Drop(types.DropEQFull)
+				return
+			}
 		}
 	}
 	mlength := h.MLength
@@ -339,16 +359,14 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 	if d.pending > 0 {
 		d.pending--
 	}
-	if q != nil {
-		q.Post(eventq.Event{
-			Type:      types.EventReply,
-			Initiator: h.Initiator,
-			RLength:   h.RLength,
-			MLength:   mlength,
-			MD:        d.handle,
-			UserPtr:   d.md.UserPtr,
-		})
-	}
+	res.Publish(eventq.Event{
+		Type:      types.EventReply,
+		Initiator: h.Initiator,
+		RLength:   h.RLength,
+		MLength:   mlength,
+		MD:        d.handle,
+		UserPtr:   d.md.UserPtr,
+	})
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
 		s.unlinkMD(d, true)
 	}

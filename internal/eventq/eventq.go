@@ -9,10 +9,19 @@
 // overwrites the oldest unconsumed slot, and the consumer is told about the
 // overrun through ErrEQDropped on its next Get — the exact failure mode the
 // spec gives higher-level protocols to design around.
+//
+// The producer fast path is lock-free so concurrent delivery lanes posting
+// to one queue do not serialize (docs/PERF.md §6): Post reserves a position
+// with one CAS on the produced counter and stamps the slot seqlock-style —
+// writeStamp while the payload is in flight, doneStamp once it is visible.
+// The mutex is kept only for the consumer, the full-queue overwrite path,
+// and Close.
 package eventq
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/types"
@@ -33,6 +42,17 @@ type Event struct {
 	Sequence  uint64
 }
 
+// slot is one ring cell. seq carries the seqlock stamp for the cell's
+// current occupant: writeStamp(p) while position p's event is being
+// written, doneStamp(p) once it is complete. Zero means never written.
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+func writeStamp(p uint64) uint64 { return 2*p + 1 }
+func doneStamp(p uint64) uint64  { return 2*p + 2 }
+
 // Queue is a fixed-capacity circular event queue. All methods are safe for
 // concurrent use by one or more producers and consumers.
 //
@@ -40,14 +60,23 @@ type Event struct {
 // than a condition variable so that Poll can honour its timeout without
 // sleep-polling (which would put milliseconds of scheduler latency on the
 // event path).
+//
+// Invariant: produced - consumed ≤ len(ring) at all times. The lock-free
+// fast path only claims a position when there is space, which means the
+// slot it writes was already consumed — so fast producers never overwrite
+// live data and never contend with the consumer. Overwriting (the §4.8
+// circular behaviour) happens only on the mutex slow path, which advances
+// consumed past the victim first.
 type Queue struct {
-	mu       sync.Mutex
-	ring     []Event
-	produced uint64 // events ever posted
-	consumed uint64 // events ever handed to Get/Wait
-	closed   bool
-	notify   chan struct{} // one-token wakeup; consumers retry Get on wake
-	done     chan struct{} // closed by Close
+	ring     []slot
+	produced atomic.Uint64 // next position to reserve
+	consumed atomic.Uint64 // next position to read; stored only under mu
+	closed   atomic.Bool
+
+	mu      sync.Mutex // consumer, overwrite, and Close paths
+	overrun bool       // under mu: a Post overwrote unconsumed events since the last Get
+	notify  chan struct{} // one-token wakeup; consumers retry Get on wake
+	done    chan struct{} // closed by Close
 }
 
 // New allocates a queue with the given number of event slots. Sizes below
@@ -57,7 +86,7 @@ func New(slots int) *Queue {
 		slots = 1
 	}
 	return &Queue{
-		ring:   make([]Event, slots),
+		ring:   make([]slot, slots),
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
@@ -66,40 +95,151 @@ func New(slots int) *Queue {
 // Cap returns the number of event slots.
 func (q *Queue) Cap() int { return len(q.ring) }
 
-// Post appends an event. It never blocks and never fails; if the queue is
-// full the oldest unconsumed event is overwritten (circular semantics).
-// Post on a closed queue is a no-op.
+// Post appends an event. It never blocks on the application and never
+// fails; if the queue is full the oldest unconsumed event is overwritten
+// (circular semantics). Post on a closed queue is a no-op.
 func (q *Queue) Post(ev Event) {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+	if q.closed.Load() {
 		return
 	}
-	ev.Sequence = q.produced
-	q.ring[q.produced%uint64(len(q.ring))] = ev
-	q.produced++
-	q.mu.Unlock()
+	n := uint64(len(q.ring))
+	for {
+		pos := q.produced.Load()
+		if pos-q.consumed.Load() >= n {
+			q.postFull(ev)
+			return
+		}
+		if q.produced.CompareAndSwap(pos, pos+1) {
+			q.publish(pos, ev)
+			return
+		}
+	}
+}
+
+// publish writes position pos's event into its slot and makes it visible.
+// The caller owns pos (it won the CAS, or holds mu on the overwrite path).
+func (q *Queue) publish(pos uint64, ev Event) {
+	sl := &q.ring[pos%uint64(len(q.ring))]
+	sl.seq.Store(writeStamp(pos))
+	ev.Sequence = pos
+	sl.ev = ev
+	sl.seq.Store(doneStamp(pos))
+	q.wake()
+}
+
+func (q *Queue) wake() {
 	select {
 	case q.notify <- struct{}{}:
 	default: // a wakeup is already pending; the woken consumer will drain
 	}
 }
 
-// HasSpace reports whether a Post right now would not overwrite an
-// unconsumed event. The delivery engine uses this for the §4.8 reply rule:
-// "a reply message will be dropped if ... the event queue in the memory
-// descriptor has no space".
-func (q *Queue) HasSpace() bool {
+// postFull is the full-queue slow path: under mu, drop the oldest
+// unconsumed event to make room, then claim a position like the fast path.
+// The CAS can still lose to concurrent fast producers (they do not take
+// mu), in which case the freed slot went to one of them and we drop again.
+func (q *Queue) postFull(ev Event) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.produced-q.consumed < uint64(len(q.ring))
+	if q.closed.Load() {
+		return
+	}
+	n := uint64(len(q.ring))
+	for {
+		pos := q.produced.Load()
+		if pos-q.consumed.Load() >= n {
+			// Drop the oldest pending event. Its writer may still be in
+			// flight (a reservation between stamps); wait for it so the
+			// victim's slot write cannot tear ours. Holding mu here is fine:
+			// publishing never takes mu.
+			c := q.consumed.Load()
+			sl := &q.ring[c%n]
+			for sl.seq.Load() != doneStamp(c) {
+				runtime.Gosched()
+			}
+			q.consumed.Store(c + 1)
+			q.overrun = true
+		}
+		if q.produced.CompareAndSwap(pos, pos+1) {
+			q.publish(pos, ev)
+			return
+		}
+	}
+}
+
+// PostIfSpace posts ev only if doing so would not overwrite an unconsumed
+// event, reporting whether the event was (logically) posted. The space
+// check and the post are one atomic reservation — unlike a HasSpace/Post
+// pair, two racing PostIfSpace calls for the last slot cannot both succeed.
+// On a closed queue it returns true and discards the event, matching
+// Post's no-op semantics.
+func (q *Queue) PostIfSpace(ev Event) bool {
+	r, ok := q.ReserveIfSpace()
+	if !ok {
+		return false
+	}
+	r.Publish(ev)
+	return true
+}
+
+// Reservation is a claimed event slot awaiting its event. The zero value
+// is inert (Publish is a no-op).
+type Reservation struct {
+	q      *Queue
+	pos    uint64
+	active bool
+}
+
+// ReserveIfSpace atomically claims the next event slot if the queue has
+// space, so a caller can guarantee event delivery *before* performing the
+// operation's side effects (the §4.8 reply rule: the reply is dropped —
+// data unwritten — when the event queue is full). The reservation must be
+// Published promptly: consumers and overwriting producers wait for it.
+// On a closed queue it returns an inert reservation and ok=true, matching
+// Post's closed no-op semantics.
+func (q *Queue) ReserveIfSpace() (r Reservation, ok bool) {
+	if q.closed.Load() {
+		return Reservation{}, true
+	}
+	n := uint64(len(q.ring))
+	for {
+		pos := q.produced.Load()
+		if pos-q.consumed.Load() >= n {
+			return Reservation{}, false
+		}
+		if q.produced.CompareAndSwap(pos, pos+1) {
+			q.ring[pos%n].seq.Store(writeStamp(pos))
+			return Reservation{q: q, pos: pos, active: true}, true
+		}
+	}
+}
+
+// Publish completes a reservation, making the event visible to consumers.
+func (r Reservation) Publish(ev Event) {
+	if !r.active {
+		return
+	}
+	sl := &r.q.ring[r.pos%uint64(len(r.q.ring))]
+	ev.Sequence = r.pos
+	sl.ev = ev
+	sl.seq.Store(doneStamp(r.pos))
+	r.q.wake()
+}
+
+// HasSpace reports whether a Post right now would not overwrite an
+// unconsumed event. It is advisory under concurrency — use PostIfSpace or
+// ReserveIfSpace when the answer must stay true through a subsequent post.
+func (q *Queue) HasSpace() bool {
+	// consumed is loaded first: both counters are monotone, so this orders
+	// the subtraction conservatively (never reports phantom space).
+	c := q.consumed.Load()
+	return q.produced.Load()-c < uint64(len(q.ring))
 }
 
 // Pending returns the number of unconsumed events (clamped to capacity).
 func (q *Queue) Pending() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := q.produced - q.consumed
+	c := q.consumed.Load()
+	n := q.produced.Load() - c
 	if n > uint64(len(q.ring)) {
 		n = uint64(len(q.ring))
 	}
@@ -119,22 +259,28 @@ func (q *Queue) Get() (Event, error) {
 }
 
 func (q *Queue) getLocked() (Event, error) {
-	if q.consumed == q.produced {
-		if q.closed {
+	c := q.consumed.Load()
+	if c == q.produced.Load() {
+		if q.closed.Load() {
 			return Event{}, types.ErrClosed
 		}
 		return Event{}, types.ErrEQEmpty
 	}
 	n := uint64(len(q.ring))
-	if q.produced-q.consumed > n {
-		// Overrun: events in (consumed, produced-n) were overwritten.
-		q.consumed = q.produced - n
-		ev := q.ring[q.consumed%n]
-		q.consumed++
+	sl := &q.ring[c%n]
+	// The position is claimed but its event may still be in flight
+	// (between stamps); wait for the publish. Publishing never takes mu,
+	// so spinning under mu cannot deadlock.
+	for sl.seq.Load() != doneStamp(c) {
+		runtime.Gosched()
+	}
+	ev := sl.ev
+	q.consumed.Store(c + 1)
+	if q.overrun {
+		// Overrun: older events were overwritten since the last Get.
+		q.overrun = false
 		return ev, types.ErrEQDropped
 	}
-	ev := q.ring[q.consumed%n]
-	q.consumed++
 	return ev, nil
 }
 
@@ -182,21 +328,20 @@ func (q *Queue) Poll(d time.Duration) (Event, error) {
 }
 
 // Close wakes all waiters. Pending events remain retrievable; once drained,
-// Get and Wait return ErrClosed.
+// Get and Wait return ErrClosed. A Post racing Close may still land; that
+// is the same window a hardware event queue has.
 func (q *Queue) Close() {
 	q.mu.Lock()
-	if q.closed {
+	if q.closed.Load() {
 		q.mu.Unlock()
 		return
 	}
-	q.closed = true
+	q.closed.Store(true)
 	q.mu.Unlock()
 	close(q.done)
 }
 
 // Closed reports whether Close has been called.
 func (q *Queue) Closed() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.closed
+	return q.closed.Load()
 }

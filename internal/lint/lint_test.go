@@ -333,6 +333,119 @@ func suppressed() {
 	}, []Check{goroutineCheck{}})
 }
 
+func TestGoroutineLifecycleRangeChannel(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/wp": {"wp.go": `package wp
+
+import "sync"
+
+func work(int) {}
+
+// The lane worker-pool shutdown pattern: range over a dispatch channel
+// that Stop closes after which the wait-group drains. No finding.
+type Pool struct {
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func NewPool() *Pool {
+	p := &Pool{ch: make(chan int)}
+	p.wg.Add(1)
+	go p.worker()
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for m := range p.ch {
+		work(m)
+	}
+}
+
+func (p *Pool) Stop() {
+	close(p.ch)
+	p.wg.Wait()
+}
+
+// Same shape, but nothing ever closes the field channel: flagged.
+type Leaky struct{ ch chan int }
+
+func NewLeaky() *Leaky {
+	l := &Leaky{ch: make(chan int)}
+	go l.worker() // want:goroutinelifecycle
+	return l
+}
+
+func (l *Leaky) worker() {
+	for m := range l.ch {
+		work(m)
+	}
+}
+
+// A body that can leave the loop is its own shutdown path.
+type Bail struct{ ch chan int }
+
+func NewBail() *Bail {
+	b := &Bail{ch: make(chan int)}
+	go func() {
+		for m := range b.ch {
+			if m < 0 {
+				return
+			}
+			work(m)
+		}
+	}()
+	return b
+}
+
+// Package-level dispatch channel, never closed: flagged.
+var feed = make(chan int)
+
+func leakPackageChan() {
+	go func() { // want:goroutinelifecycle
+		for m := range feed {
+			work(m)
+		}
+	}()
+}
+
+// A parameter channel may be closed by any caller — not enforceable.
+func drain(ch chan int) {
+	go func() {
+		for m := range ch {
+			work(m)
+		}
+	}()
+}
+
+// Ranging over a slice terminates by itself.
+func finite(xs []int) {
+	go func() {
+		for _, x := range xs {
+			work(x)
+		}
+	}()
+}
+
+// Suppression still works for the range form.
+type Quiet struct{ ch chan int }
+
+func NewQuiet() *Quiet {
+	q := &Quiet{ch: make(chan int)}
+	//lint:ignore goroutinelifecycle suppression fixture
+	go q.worker()
+	return q
+}
+
+func (q *Quiet) worker() {
+	for m := range q.ch {
+		work(m)
+	}
+}
+`},
+	}, []Check{goroutineCheck{}})
+}
+
 func TestBadSuppressDirective(t *testing.T) {
 	prog, err := LoadSource("repro", map[string]map[string]string{
 		"repro/bs": {"bs.go": "package bs\n\n//lint:ignore lockdiscipline\nfunc f() {}\n"},

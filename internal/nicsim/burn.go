@@ -1,0 +1,93 @@
+package nicsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// burn busy-waits for roughly d, modeling time the host CPU is stolen from
+// the application. A sleep would yield the CPU (wrong model: interrupts
+// steal cycles).
+//
+// The loop is calibrated: a naive `for time.Now().Before(end)` spin costs
+// one clock read per iteration (~20–60 ns through the vDSO), so requesting
+// a sub-microsecond InterruptCost used to burn mostly clock reads and the
+// achieved time was dominated by granularity, not the request. Instead the
+// spin runs in fixed blocks of arithmetic whose duration is measured once
+// (calibrate), and the clock is consulted at most once per coarse tick:
+//
+//   - d ≤ coarseTick: open loop — spin the calibrated block count for d
+//     and never read the clock, so sub-microsecond costs burn
+//     approximately the requested time (TestBurnCalibration bounds this).
+//   - d > coarseTick: closed loop — spin one tick's worth of blocks
+//     between clock checks, so drift cannot accumulate past ~one tick.
+func burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	calOnce.Do(calibrate)
+	per := nsPerUnit.Load()
+	if d <= coarseTick {
+		units := int((d.Nanoseconds() + per - 1) / per)
+		if units < 1 {
+			units = 1
+		}
+		spinBlock(units)
+		return
+	}
+	unitsPerTick := int(coarseTick.Nanoseconds()/per) + 1
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+		spinBlock(unitsPerTick)
+	}
+}
+
+// coarseTick is the closed-loop clock-check interval and the open-loop
+// cutoff.
+const coarseTick = 20 * time.Microsecond
+
+// spinUnitIters is the number of inner iterations per calibration unit;
+// one unit is the spin's granularity (~100 ns on current hardware).
+const spinUnitIters = 256
+
+var (
+	calOnce   sync.Once
+	nsPerUnit atomic.Int64  // measured duration of one unit, ns (≥ 1)
+	spinSink  atomic.Uint64 // defeats dead-code elimination of the spin
+)
+
+// spinBlock burns units × spinUnitIters iterations of integer arithmetic.
+// The chain through x is data-dependent and the result escapes through
+// spinSink, so the compiler can neither vectorize it away nor delete it.
+//
+//go:noinline
+func spinBlock(units int) {
+	x := spinSink.Load() | 1
+	for i := 0; i < units*spinUnitIters; i++ {
+		x = x*2654435761 + 0x9E3779B9
+	}
+	spinSink.Store(x)
+}
+
+// calibrate measures the spin unit once per process. The minimum over a
+// few trials is taken: interruptions (preemption, frequency ramp) only
+// ever make a trial slower, so the minimum is the closest estimate of the
+// undisturbed spin rate — and a too-fast estimate makes burn err toward
+// burning slightly longer, which is the safe direction for a cost model.
+func calibrate() {
+	const calUnits = 2048 // ~200 µs per trial
+	best := int64(1 << 62)
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		spinBlock(calUnits)
+		per := time.Since(start).Nanoseconds() / calUnits
+		if per < 1 {
+			per = 1
+		}
+		if per < best {
+			best = per
+		}
+	}
+	nsPerUnit.Store(best)
+}

@@ -1,0 +1,37 @@
+package nicsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBurnCalibration checks that burn honors its calibration bound at
+// durations well below timer resolution (the whole point of the calibrated
+// spin: a 500 ns InterruptCost must not silently become a 1 ms sleep) and
+// at durations above the coarse tick. Wall-clock medians are compared, not
+// single samples — the scheduler can preempt any one burn.
+func TestBurnCalibration(t *testing.T) {
+	calOnce.Do(calibrate)
+	t.Logf("calibrated: %d ns/unit", nsPerUnit.Load())
+	for _, d := range []time.Duration{200 * time.Nanosecond, 2 * time.Microsecond, 50 * time.Microsecond} {
+		samples := make([]time.Duration, 41)
+		for i := range samples {
+			start := time.Now()
+			burn(d)
+			samples[i] = time.Since(start)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[len(samples)/2]
+		// Lower bound: the spin must actually cost time on the order of d.
+		if med < d/2 {
+			t.Errorf("burn(%v): median %v, want ≥ %v", d, med, d/2)
+		}
+		// Upper bound: calibration error must stay bounded — the pre-fix
+		// failure mode was a minimum cost of one scheduler tick (~1 ms)
+		// regardless of d. The slack term absorbs clock-read overhead.
+		if limit := 20*d + 30*time.Microsecond; med > limit {
+			t.Errorf("burn(%v): median %v, want ≤ %v", d, med, limit)
+		}
+	}
+}

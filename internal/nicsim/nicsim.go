@@ -2,11 +2,21 @@
 // that receives wire messages from a transport, routes them to the right
 // process, and runs the Portals delivery engine on them.
 //
-// The delivery engine runs on the transport's delivery goroutine — never
-// on an application goroutine. That is the architectural property the
-// paper calls application bypass (§5.1): "the fundamental concept of
-// Portals is to decouple the host processor from the network and allow
-// data to flow with virtually no application processing."
+// The delivery engine runs on the transport's delivery goroutine or on the
+// node's delivery lanes — never on an application goroutine. That is the
+// architectural property the paper calls application bypass (§5.1): "the
+// fundamental concept of Portals is to decouple the host processor from
+// the network and allow data to flow with virtually no application
+// processing."
+//
+// Delivery lanes (docs/PERF.md §5): with Config.Lanes > 1 the node runs N
+// worker goroutines, and each incoming message is hashed by (source NID,
+// target PID) onto one of them. Messages of one (initiator, target) flow
+// always land on the same lane in arrival order, so the §4.1 per-pair
+// ordering guarantee survives; independent flows process concurrently,
+// the way a real NIC processes independent DMA streams. Lanes=1 keeps
+// today's serial engine: the handler processes inline on the transport
+// goroutine.
 //
 // Two processing models are provided (§5.3 discusses both):
 //
@@ -23,9 +33,12 @@ package nicsim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -50,6 +63,58 @@ type Config struct {
 	// interrupt entry/exit and cache disturbance (§5.1: "the interrupt
 	// latency ... is fairly significant").
 	InterruptCost time.Duration
+	// Lanes is the number of parallel delivery lanes. 0 defaults to
+	// GOMAXPROCS; 1 runs the serial engine inline on the transport's
+	// delivery goroutine, exactly the pre-lane behaviour.
+	Lanes int
+	// LaneDepth bounds each lane's queue, in dispatch batches (0 defaults
+	// to 1024). Backpressure policy: when a lane is full the dispatcher
+	// BLOCKS the transport's delivery goroutine — flow control propagates
+	// to senders rather than messages being dropped, preserving the §4.1
+	// reliable-delivery guarantee. Lanes drain independently of the
+	// application (bypass, §5.1), so the wait is bounded by protocol
+	// processing, never by application behaviour.
+	LaneDepth int
+}
+
+const defaultLaneDepth = 1024
+
+// laneBurst is the initial capacity of pooled lane dispatch batches.
+const laneBurst = 64
+
+// procMap is the PID routing table. It is immutable once published:
+// AddProcess/RemoveProcess copy-on-write a new map and swap the pointer,
+// so lanes look up targets with one atomic load and zero contention.
+type procMap = map[types.PID]*core.State
+
+// laneMsg is one admitted message in flight to (or inside) a lane: the
+// decoded header, the payload view, the resolved target state, and the
+// pooled carrier buffer to release after processing (nil when the bytes
+// are plainly allocated and garbage collection handles them).
+type laneMsg struct {
+	src     types.NID
+	state   *core.State
+	hdr     wire.Header
+	payload []byte
+	buf     *bufpool.Buf
+}
+
+// lane carries admitted messages to one worker in batches: the dispatcher
+// groups each incoming transport batch by lane and sends one pooled slice
+// per lane, so channel operations are amortized over whole batches rather
+// than paid per message.
+type lane struct {
+	ch chan *[]laneMsg
+}
+
+// burstPool recycles the slices lane channels carry. Ownership follows the
+// data: the dispatcher takes a slice, fills it, and sends it; the worker
+// (or the dispatcher on a closed gate) empties it and puts it back.
+var burstPool = sync.Pool{
+	New: func() any {
+		s := make([]laneMsg, 0, laneBurst)
+		return &s
+	},
 }
 
 // Node is one machine on the fabric: a transport endpoint plus the set of
@@ -58,22 +123,64 @@ type Config struct {
 type Node struct {
 	nid      types.NID
 	ep       transport.Endpoint
+	bufSend  transport.BufSender // ep's zero-copy path, when it has one
 	cfg      Config
 	counters stats.Counters // node-level: bad-target drops, interrupts
 
-	mu     sync.Mutex
-	procs  map[types.PID]*core.State
+	procs atomic.Pointer[procMap]
+
+	mu     sync.Mutex // guards copy-on-write of procs, and closed
 	closed bool
+
+	lanes []*lane
+	wg    sync.WaitGroup
+	gate  dispatchGate
+
+	// serialBurst/serialInc are scratch for the Lanes=1 batch path; safe
+	// without a lock because one endpoint's batches arrive serially
+	// (transport.BatchHandler contract).
+	serialBurst []laneMsg
+	serialInc   []core.Incoming
 }
 
 // NewNode attaches a node to a fabric.
 func NewNode(net transport.Network, nid types.NID, cfg Config) (*Node, error) {
-	n := &Node{nid: nid, cfg: cfg, procs: make(map[types.PID]*core.State)}
-	ep, err := net.Attach(nid, n.onMessage)
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = runtime.GOMAXPROCS(0)
+	}
+	if cfg.LaneDepth <= 0 {
+		cfg.LaneDepth = defaultLaneDepth
+	}
+	n := &Node{nid: nid, cfg: cfg}
+	empty := make(procMap)
+	n.procs.Store(&empty)
+	if cfg.Lanes > 1 {
+		n.lanes = make([]*lane, cfg.Lanes)
+		for i := range n.lanes {
+			n.lanes[i] = &lane{ch: make(chan *[]laneMsg, cfg.LaneDepth)}
+		}
+	}
+	var ep transport.Endpoint
+	var err error
+	if bn, ok := net.(transport.BatchNetwork); ok {
+		ep, err = bn.AttachBatch(nid, n.onBatch)
+	} else {
+		ep, err = net.Attach(nid, n.onMessage)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Workers start only after the attach succeeded, so a failed NewNode
+	// leaves nothing to tear down. The lane channels existed before the
+	// attach: a handler invocation racing this loop merely queues.
+	for _, ln := range n.lanes {
+		n.wg.Add(1)
+		go n.laneWorker(ln)
+	}
 	n.ep = ep
+	if bs, ok := ep.(transport.BufSender); ok {
+		n.bufSend = bs
+	}
 	return n, nil
 }
 
@@ -83,6 +190,9 @@ func (n *Node) NID() types.NID { return n.nid }
 // Counters exposes node-level counters (bad-target drops, interrupts).
 func (n *Node) Counters() *stats.Counters { return &n.counters }
 
+// Lanes reports the number of delivery lanes in effect.
+func (n *Node) Lanes() int { return n.cfg.Lanes }
+
 // AddProcess registers a process's Portals state under its PID.
 func (n *Node) AddProcess(pid types.PID, s *core.State) error {
 	n.mu.Lock()
@@ -90,29 +200,46 @@ func (n *Node) AddProcess(pid types.PID, s *core.State) error {
 	if n.closed {
 		return types.ErrClosed
 	}
-	if _, dup := n.procs[pid]; dup {
+	cur := *n.procs.Load()
+	if _, dup := cur[pid]; dup {
 		return fmt.Errorf("nicsim: pid %d already registered on nid %d", pid, n.nid)
 	}
-	n.procs[pid] = s
+	next := make(procMap, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[pid] = s
+	n.procs.Store(&next)
 	return nil
 }
 
 // RemoveProcess deregisters a process; subsequent messages for it are
-// dropped with the bad-target reason (§4.8's first check).
+// dropped with the bad-target reason (§4.8's first check). Messages
+// already admitted to a lane resolved their state earlier and still
+// complete, like DMAs a real NIC already started.
 func (n *Node) RemoveProcess(pid types.PID) {
 	n.mu.Lock()
-	delete(n.procs, pid)
-	n.mu.Unlock()
-}
-
-// lookup finds the state for a local PID.
-func (n *Node) lookup(pid types.PID) *core.State {
-	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.procs[pid]
+	cur := *n.procs.Load()
+	if _, ok := cur[pid]; !ok {
+		return
+	}
+	next := make(procMap, len(cur))
+	for k, v := range cur {
+		if k != pid {
+			next[k] = v
+		}
+	}
+	n.procs.Store(&next)
 }
 
-// outScratch pools the per-message Outbound scratch slices so the delivery
+// lookup finds the state for a local PID: one atomic load, no lock, so
+// concurrent lanes never contend on node state.
+func (n *Node) lookup(pid types.PID) *core.State {
+	return (*n.procs.Load())[pid]
+}
+
+// outScratch pools the per-burst Outbound scratch slices so the delivery
 // engine's steady state allocates nothing (docs/PERF.md).
 var outScratch = sync.Pool{
 	New: func() any {
@@ -121,18 +248,31 @@ var outScratch = sync.Pool{
 	},
 }
 
-// Send transmits an initiator-side or engine-generated message.
+// Send transmits an initiator-side or engine-generated message, CONSUMING
+// it: when the transport can take ownership (transport.BufSender — the
+// zero-copy path), the message's pooled buffer is handed over; otherwise
+// the bytes are copied by the transport's Send and the buffer recycled
+// here. Either way the caller must not use or Recycle out afterwards.
 func (n *Node) Send(out core.Outbound) error {
-	return n.ep.Send(out.Dst.NID, out.Msg)
+	if n.bufSend != nil {
+		if b := out.TakeBuf(); b != nil {
+			return n.bufSend.SendBuf(out.Dst.NID, b)
+		}
+	}
+	err := n.ep.Send(out.Dst.NID, out.Msg)
+	out.Recycle()
+	return err
 }
 
-// onMessage is the delivery engine: it runs on the transport goroutine.
-func (n *Node) onMessage(src types.NID, msg []byte) {
+// admit runs the §4.8 admission checks — decodable, valid local target —
+// and resolves the target process. It is the part of delivery that stays
+// on the transport goroutine; everything after it can move to a lane.
+func (n *Node) admit(src types.NID, msg []byte) (laneMsg, bool) {
 	h, payload, err := wire.DecodeMessage(msg)
 	if err != nil {
 		// Undecodable traffic: no valid target, count at node level.
 		n.counters.Drop(types.DropBadTarget)
-		return
+		return laneMsg{}, false
 	}
 	// §4.8: "the runtime system first checks that the target process
 	// identified in the request is a valid process that has initialized
@@ -140,33 +280,217 @@ func (n *Node) onMessage(src types.NID, msg []byte) {
 	state := n.lookup(h.Target.PID)
 	if state == nil || h.Target.NID != n.nid {
 		n.counters.Drop(types.DropBadTarget)
+		return laneMsg{}, false
+	}
+	return laneMsg{src: src, state: state, hdr: h, payload: payload}, true
+}
+
+// laneIndex hashes a flow onto a lane. The key is (source NID, target
+// PID): everything one initiating node sends to one target process maps to
+// the same lane, which is what preserves §4.1 per-(initiator, target)
+// ordering — a lane is FIFO, and no two lanes ever carry the same flow.
+func laneIndex(src types.NID, pid types.PID, lanes int) int {
+	h := uint64(src)*0x9E3779B97F4A7C15 ^ uint64(pid)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(lanes))
+}
+
+// onMessage is the per-message delivery entry (plain transport.Handler).
+// With one lane the engine runs inline on the transport goroutine; with
+// more, the message is copied into a pooled buffer (Handler's msg cannot
+// be retained) and dispatched to its flow's lane as a one-message batch.
+func (n *Node) onMessage(src types.NID, msg []byte) {
+	m, ok := n.admit(src, msg)
+	if !ok {
 		return
 	}
-	if n.cfg.Model == HostInterrupt {
-		n.counters.Interrupt()
-		state.Counters().Interrupt()
-		if n.cfg.InterruptCost > 0 {
-			burn(n.cfg.InterruptCost)
+	if len(n.lanes) == 0 {
+		n.process(&m)
+		return
+	}
+	b := bufpool.Get(len(msg))
+	copy(b.Bytes(), msg)
+	m.buf = b
+	m.payload = b.Bytes()[wire.HeaderSize : wire.HeaderSize+uint64(len(m.payload))]
+	g := burstPool.Get().(*[]laneMsg)
+	*g = append(*g, m)
+	n.dispatch(laneIndex(m.src, m.hdr.Target.PID, len(n.lanes)), g)
+}
+
+// onBatch is the batched delivery entry (transport.BatchHandler). Message
+// ownership transfers from the transport, so dispatching to lanes moves
+// pointers, not bytes: the batch is grouped by lane and each group goes to
+// its lane in one channel operation, preserving arrival order per flow (a
+// flow's messages are all in the same group, in batch order).
+func (n *Node) onBatch(batch []transport.Delivery) {
+	if len(n.lanes) == 0 {
+		burst := n.serialBurst[:0]
+		for i := range batch {
+			d := &batch[i]
+			m, ok := n.admit(d.Src, d.Msg)
+			if !ok {
+				d.Release()
+				continue
+			}
+			m.buf = d.Buf
+			d.Buf = nil
+			burst = append(burst, m)
+		}
+		n.processBurst(burst, &n.serialInc)
+		n.serialBurst = burst[:0]
+		return
+	}
+	groups := make([]*[]laneMsg, len(n.lanes))
+	for i := range batch {
+		d := &batch[i]
+		m, ok := n.admit(d.Src, d.Msg)
+		if !ok {
+			d.Release()
+			continue
+		}
+		m.buf = d.Buf
+		d.Buf = nil
+		li := laneIndex(m.src, m.hdr.Target.PID, len(n.lanes))
+		if groups[li] == nil {
+			groups[li] = burstPool.Get().(*[]laneMsg)
+		}
+		*groups[li] = append(*groups[li], m)
+	}
+	for li, g := range groups {
+		if g != nil {
+			n.dispatch(li, g)
 		}
 	}
+}
+
+// dispatch queues a batch of admitted messages on one lane. The gate makes
+// dispatch-vs-Close safe: transports may invoke handlers concurrently with
+// Close (simnet, rtscts), and a send on a closed lane channel would panic.
+func (n *Node) dispatch(li int, g *[]laneMsg) {
+	if !n.gate.enter() {
+		// Node closed under us: the messages vanish, like any in-flight
+		// traffic to a detached node.
+		releaseBurst(g)
+		return
+	}
+	// A full lane blocks here — the documented backpressure policy (see
+	// Config.LaneDepth): flow control propagates to the transport instead
+	// of dropping, and lane drain is independent of the application.
+	//lint:ignore bypassviolation lane workers drain independently of the application (bypass holds); blocking here is transport flow control, bounded by protocol processing only
+	n.lanes[li].ch <- g
+	n.gate.exit()
+}
+
+// releaseBurst empties a dispatch batch without processing it and returns
+// the slice to the pool.
+func releaseBurst(g *[]laneMsg) {
+	for i := range *g {
+		if (*g)[i].buf != nil {
+			(*g)[i].buf.Release()
+		}
+		(*g)[i] = laneMsg{}
+	}
+	*g = (*g)[:0]
+	burstPool.Put(g)
+}
+
+// laneWorker drains one lane batch by batch, running the engine over each
+// batch as a unit. The loop exits when Close closes the dispatch channel
+// after draining the gate (worker-pool shutdown).
+func (n *Node) laneWorker(ln *lane) {
+	defer n.wg.Done()
+	var inc []core.Incoming
+	for g := range ln.ch {
+		n.processBurst(*g, &inc)
+		*g = (*g)[:0]
+		burstPool.Put(g)
+	}
+}
+
+// processBurst runs the delivery engine over a burst of admitted messages,
+// reusing one outbound scratch and one Incoming slice across the whole
+// burst. Contiguous runs for the same target process are handed to
+// core.HandleIncomingBatch together. Burst entries are consumed: carrier
+// buffers are released and the slice's references cleared.
+func (n *Node) processBurst(burst []laneMsg, inc *[]core.Incoming) {
+	if len(burst) == 0 {
+		return
+	}
 	sp := outScratch.Get().(*[]core.Outbound)
-	outs := state.HandleIncomingInto(&h, payload, (*sp)[:0])
-	for i := range outs {
-		// A response that cannot be transmitted is dropped silently, like
-		// an ack on a failed link; the initiator's protocol copes
-		// (Portals acks are advisory).
-		_ = n.Send(outs[i])
-		// The transport does not retain the message past Send (see
-		// internal/transport), so its pooled buffer can go back now.
-		outs[i].Recycle()
-		outs[i] = core.Outbound{}
+	outs := (*sp)[:0]
+	for i := 0; i < len(burst); {
+		state := burst[i].state
+		j := i
+		*inc = (*inc)[:0]
+		for j < len(burst) && burst[j].state == state {
+			n.chargeInterrupt(state)
+			*inc = append(*inc, core.Incoming{H: burst[j].hdr, Payload: burst[j].payload})
+			j++
+		}
+		outs = state.HandleIncomingBatch(*inc, outs[:0])
+		n.transmit(outs)
+		for k := i; k < j; k++ {
+			if burst[k].buf != nil {
+				burst[k].buf.Release()
+			}
+			burst[k] = laneMsg{}
+		}
+		i = j
 	}
 	*sp = outs[:0]
 	outScratch.Put(sp)
 }
 
-// Close detaches the node. Process states are not closed — they belong to
-// their owners.
+// process runs the engine inline for one message (the Lanes=1 per-message
+// path — exactly the pre-lane serial engine).
+func (n *Node) process(m *laneMsg) {
+	n.chargeInterrupt(m.state)
+	sp := outScratch.Get().(*[]core.Outbound)
+	outs := m.state.HandleIncomingInto(&m.hdr, m.payload, (*sp)[:0])
+	n.transmit(outs)
+	if m.buf != nil {
+		m.buf.Release()
+	}
+	*sp = outs[:0]
+	outScratch.Put(sp)
+}
+
+// transmit sends the engine's responses, clearing the slice. Send consumes
+// each message (buffer transferred to the transport or recycled).
+func (n *Node) transmit(outs []core.Outbound) {
+	for i := range outs {
+		// A response that cannot be transmitted is dropped silently, like
+		// an ack on a failed link; the initiator's protocol copes
+		// (Portals acks are advisory).
+		_ = n.Send(outs[i])
+		outs[i] = core.Outbound{}
+	}
+}
+
+func (n *Node) chargeInterrupt(state *core.State) {
+	if n.cfg.Model != HostInterrupt {
+		return
+	}
+	n.counters.Interrupt()
+	state.Counters().Interrupt()
+	if n.cfg.InterruptCost > 0 {
+		burn(n.cfg.InterruptCost)
+	}
+}
+
+// Close detaches the node and drains the lanes. Process states are not
+// closed — they belong to their owners.
+//
+// Order matters: the endpoint closes first (transports that serialize
+// handler shutdown stop delivering), then the gate closes and waits out
+// dispatches already in flight (transports that do not serialize — simnet,
+// rtscts — can still be mid-handler), and only then do the lane channels
+// close, so a send on a closed channel is impossible. Workers drain
+// everything queued before exiting; wg.Wait makes Close return only after
+// the last lane is idle — no goroutine outlives the node (portalsvet
+// goroutinelifecycle).
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -174,17 +498,61 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
-	n.procs = map[types.PID]*core.State{}
+	empty := make(procMap)
+	n.procs.Store(&empty)
 	n.mu.Unlock()
-	return n.ep.Close()
+	err := n.ep.Close()
+	n.stopLanes()
+	return err
 }
 
-// burn busy-waits for roughly d, modeling time the host CPU is stolen from
-// the application. A sleep would yield the CPU (wrong model: interrupts
-// steal cycles); for very short costs the loop granularity dominates, as
-// on real hardware.
-func burn(d time.Duration) {
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
+func (n *Node) stopLanes() {
+	if len(n.lanes) == 0 {
+		return
+	}
+	n.gate.close()
+	for _, ln := range n.lanes {
+		close(ln.ch)
+	}
+	n.wg.Wait()
+}
+
+// dispatchGate lets Close wait for in-flight dispatches without putting a
+// lock on the per-message path: state packs (in-flight count << 1) |
+// closed-bit.
+type dispatchGate struct {
+	state atomic.Int64
+}
+
+func (g *dispatchGate) enter() bool {
+	for {
+		s := g.state.Load()
+		if s&1 != 0 {
+			return false
+		}
+		if g.state.CompareAndSwap(s, s+2) {
+			return true
+		}
+	}
+}
+
+func (g *dispatchGate) exit() { g.state.Add(-2) }
+
+// close marks the gate closed and spins out the dispatches already inside.
+// The wait is bounded: an in-flight dispatch only ever blocks on lane
+// backpressure, and lane workers keep draining until their channels close
+// (which happens after this returns).
+func (g *dispatchGate) close() {
+	for {
+		s := g.state.Load()
+		if s&1 != 0 {
+			break
+		}
+		if g.state.CompareAndSwap(s, s|1) {
+			break
+		}
+	}
+	for g.state.Load() != 1 {
+		runtime.Gosched()
 	}
 }

@@ -1,19 +1,28 @@
 // Package loopback is an in-process transport: messages between attached
 // nodes are moved by a per-node delivery goroutine through unbounded FIFO
-// queues. Delivery is reliable and in order — not just per pair but
-// globally per receiving node — and has no configured latency, which makes
-// it the reference fabric for semantic tests.
+// queues. Delivery is reliable and in order per (source, destination) pair
+// — the §4.1 service — and has no configured latency, which makes it the
+// reference fabric for semantic tests.
 //
 // The per-node delivery goroutine (rather than running handlers on the
 // sender's goroutine) matters: it keeps the receive path independent of
 // every application goroutine, exactly like a NIC engine, so application-
 // bypass behaviour is preserved even on this trivial fabric.
+//
+// The delivery goroutine dequeues in batches: each wakeup swaps the whole
+// pending queue out under one lock acquisition and hands it over — to a
+// BatchHandler in a single call (transport ownership of every message
+// transfers, no copy), or to a plain Handler one message at a time.
+// Messages are carried in pooled buffers (internal/bufpool), copied once
+// on the sender's goroutine at enqueue — or not at all when the sender
+// uses SendBuf (transport.BufSender) and hands its pooled buffer over.
 package loopback
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -30,19 +39,15 @@ func New() *Network {
 	return &Network{nodes: make(map[types.NID]*endpoint)}
 }
 
-type inMsg struct {
-	src types.NID
-	msg []byte
-}
-
 type endpoint struct {
-	net     *Network
-	nid     types.NID
-	handler transport.Handler
+	net      *Network
+	nid      types.NID
+	handler  transport.Handler      // exactly one of handler
+	bhandler transport.BatchHandler // and bhandler is non-nil
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []inMsg
+	queue  []transport.Delivery
 	closed bool
 	done   chan struct{}
 }
@@ -53,6 +58,20 @@ func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint
 	if h == nil {
 		return nil, fmt.Errorf("loopback: nil handler")
 	}
+	return n.attach(nid, &endpoint{handler: h})
+}
+
+// AttachBatch registers a node with a batch handler: the delivery
+// goroutine hands over whole dequeued batches, transferring ownership of
+// each message (transport.BatchHandler).
+func (n *Network) AttachBatch(nid types.NID, h transport.BatchHandler) (transport.Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("loopback: nil handler")
+	}
+	return n.attach(nid, &endpoint{bhandler: h})
+}
+
+func (n *Network) attach(nid types.NID, ep *endpoint) (transport.Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -61,7 +80,9 @@ func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint
 	if _, dup := n.nodes[nid]; dup {
 		return nil, fmt.Errorf("loopback: nid %d already attached", nid)
 	}
-	ep := &endpoint{net: n, nid: nid, handler: h, done: make(chan struct{})}
+	ep.net = n
+	ep.nid = nid
+	ep.done = make(chan struct{})
 	ep.cond = sync.NewCond(&ep.mu)
 	n.nodes[nid] = ep
 	go ep.deliveryLoop()
@@ -86,6 +107,7 @@ func (n *Network) Close() error {
 
 func (ep *endpoint) deliveryLoop() {
 	defer close(ep.done)
+	var spare []transport.Delivery // recycled batch backing; owned by this goroutine
 	for {
 		ep.mu.Lock()
 		for len(ep.queue) == 0 && !ep.closed {
@@ -95,22 +117,44 @@ func (ep *endpoint) deliveryLoop() {
 			ep.mu.Unlock()
 			return
 		}
-		m := ep.queue[0]
-		ep.queue = ep.queue[1:]
+		// One lock operation dequeues everything pending.
+		batch := ep.queue
+		ep.queue = spare[:0]
 		ep.mu.Unlock()
-		ep.handler(m.src, m.msg)
+		if ep.bhandler != nil {
+			ep.bhandler(batch) // message ownership moves to the handler
+		} else {
+			for i := range batch {
+				ep.handler(batch[i].Src, batch[i].Msg)
+				batch[i].Release()
+			}
+		}
+		for i := range batch {
+			batch[i] = transport.Delivery{} // drop refs so the backing array pins nothing
+		}
+		spare = batch[:0]
 	}
 }
 
 func (ep *endpoint) enqueue(src types.NID, msg []byte) {
-	cp := make([]byte, len(msg))
-	copy(cp, msg)
+	// The per-message copy, into a pooled buffer, on the SENDER's
+	// goroutine: the transport contract lets the caller reuse msg as soon
+	// as Send returns, and copying here (not on the delivery goroutine)
+	// keeps concurrent senders' copies parallel.
+	cp := bufpool.Get(len(msg))
+	copy(cp.Bytes(), msg)
+	ep.enqueueBuf(src, cp)
+}
+
+// enqueueBuf queues an owned buffer — the zero-copy path under SendBuf.
+func (ep *endpoint) enqueueBuf(src types.NID, buf *bufpool.Buf) {
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
+		buf.Release()
 		return // messages to a detached node vanish, like any network
 	}
-	ep.queue = append(ep.queue, inMsg{src: src, msg: cp})
+	ep.queue = append(ep.queue, transport.Delivery{Src: src, Msg: buf.Bytes(), Buf: buf})
 	ep.mu.Unlock()
 	ep.cond.Signal()
 }
@@ -132,10 +176,31 @@ func (ep *endpoint) Send(dst types.NID, msg []byte) error {
 	return nil
 }
 
+// SendBuf is the transport.BufSender fast path: the sender's pooled buffer
+// goes straight into the destination queue — no copy, no pool round trip —
+// and comes out the other side as the Delivery's Buf. Ownership of buf is
+// the transport's from here on, error or not.
+func (ep *endpoint) SendBuf(dst types.NID, buf *bufpool.Buf) error {
+	ep.net.mu.Lock()
+	target, ok := ep.net.nodes[dst]
+	closed := ep.net.closed
+	ep.net.mu.Unlock()
+	if closed {
+		buf.Release()
+		return types.ErrClosed
+	}
+	if !ok {
+		buf.Release()
+		return fmt.Errorf("loopback: %w: nid %d", types.ErrProcessNotFound, dst)
+	}
+	target.enqueueBuf(ep.nid, buf)
+	return nil
+}
+
 func (ep *endpoint) LocalNID() types.NID { return ep.nid }
 
 // Close detaches the node; queued messages are dropped after the current
-// handler invocation finishes.
+// handler invocation finishes. No handler runs after Close returns.
 func (ep *endpoint) Close() error {
 	ep.net.mu.Lock()
 	if ep.net.nodes[ep.nid] == ep {
@@ -154,8 +219,12 @@ func (ep *endpoint) shutdown() {
 		return
 	}
 	ep.closed = true
+	q := ep.queue
 	ep.queue = nil
 	ep.mu.Unlock()
+	for i := range q {
+		q[i].Release()
+	}
 	ep.cond.Broadcast()
 	<-ep.done
 }

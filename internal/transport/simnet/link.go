@@ -30,10 +30,21 @@ type link struct {
 	queue  []*bufpool.Buf
 	closed bool
 
-	wire chan timedPkt // pacer → delayer
+	// pacer → delayer wire buffer. A cond-guarded slice rather than a
+	// channel so the delayer can dequeue the whole pending batch in one
+	// lock operation (docs/PERF.md §6); capacity-bounded like the channel
+	// it replaced, with overflow treated as a congestion drop.
+	wireMu     sync.Mutex
+	wireCond   *sync.Cond
+	wireQ      []timedPkt
+	wireClosed bool
 
 	held *bufpool.Buf // reorder buffer: a packet waiting to swap with its successor
 }
+
+// wireCap bounds the pacer→delayer buffer, mirroring the 1024-slot channel
+// this stage used to be.
+const wireCap = 1024
 
 type timedPkt struct {
 	arrival time.Time
@@ -41,8 +52,9 @@ type timedPkt struct {
 }
 
 func newLink(n *Network, src, dst types.NID) *link {
-	l := &link{net: n, src: src, dst: dst, wire: make(chan timedPkt, 1024)}
+	l := &link{net: n, src: src, dst: dst, wireQ: make([]timedPkt, 0, 64)}
 	l.cond = sync.NewCond(&l.mu)
+	l.wireCond = sync.NewCond(&l.wireMu)
 	go l.pace()
 	go l.delay()
 	return l
@@ -103,7 +115,10 @@ func (l *link) pace() {
 				l.held.Release()
 				l.held = nil
 			}
-			close(l.wire)
+			l.wireMu.Lock()
+			l.wireClosed = true
+			l.wireMu.Unlock()
+			l.wireCond.Signal()
 			return
 		}
 		pkt := l.queue[0]
@@ -165,25 +180,48 @@ func (l *link) transmit(p *bufpool.Buf, lastEnd *time.Time, cfg Config) {
 	}
 	*lastEnd = end
 	sleepUntil(end) // link occupied while serializing
-	select {
-	case l.wire <- timedPkt{arrival: end.Add(cfg.Latency), pkt: p}:
-	default:
-		// Wire buffer overflow: treat as congestion drop.
+	l.wireMu.Lock()
+	if l.wireClosed || len(l.wireQ) >= wireCap {
+		l.wireMu.Unlock()
+		// Wire buffer overflow (or link torn down): congestion drop.
 		l.net.stats.TailDrops.Add(1)
 		l.net.stats.Lost.Add(1)
 		p.Release()
+		return
 	}
+	l.wireQ = append(l.wireQ, timedPkt{arrival: end.Add(cfg.Latency), pkt: p})
+	l.wireMu.Unlock()
+	l.wireCond.Signal()
 }
 
 // delay holds each packet until its arrival time, then delivers it.
-// Arrival times are monotone per link, so FIFO channel order is correct.
+// Arrival times are monotone per link, so FIFO dequeue order is correct.
+// Each wakeup swaps the whole pending batch out under one lock operation;
+// a loaded link then pays one mutex round-trip for many packets instead of
+// one channel operation each.
 func (l *link) delay() {
-	for tp := range l.wire {
-		sleepUntil(tp.arrival)
-		l.net.deliver(l.src, l.dst, tp.pkt.Bytes())
-		// The handler contract (PacketHandler) requires receivers to copy
-		// anything they retain, so the buffer can be recycled now.
-		tp.pkt.Release()
+	var spare []timedPkt // recycled batch backing; owned by this goroutine
+	for {
+		l.wireMu.Lock()
+		for len(l.wireQ) == 0 && !l.wireClosed {
+			l.wireCond.Wait()
+		}
+		if len(l.wireQ) == 0 && l.wireClosed {
+			l.wireMu.Unlock()
+			return
+		}
+		batch := l.wireQ
+		l.wireQ = spare[:0]
+		l.wireMu.Unlock()
+		for i := range batch {
+			sleepUntil(batch[i].arrival)
+			l.net.deliver(l.src, l.dst, batch[i].pkt.Bytes())
+			// The handler contract (PacketHandler) requires receivers to
+			// copy anything they retain, so the buffer can be recycled now.
+			batch[i].pkt.Release()
+			batch[i] = timedPkt{}
+		}
+		spare = batch[:0]
 	}
 }
 

@@ -16,7 +16,10 @@
 //   - tcp: real kernel TCP sockets, the paper's reference implementation.
 package transport
 
-import "repro/internal/types"
+import (
+	"repro/internal/bufpool"
+	"repro/internal/types"
+)
 
 // Handler is invoked by the network with each complete message delivered
 // to the local node. src is the sending node. The callee must not retain
@@ -43,6 +46,17 @@ type Endpoint interface {
 	Close() error
 }
 
+// BufSender is an optional Endpoint fast path for pooled messages: SendBuf
+// delivers buf.Bytes() — a complete wire message — to dst, taking ownership
+// of the buffer. The transport releases it (or forwards it as a Delivery's
+// Buf) once the message is done with; the caller must not touch or Release
+// the buffer after the call, whether it returns an error or not. This is
+// what lets an in-process fabric move a message from initiator to delivery
+// engine with zero copies (docs/PERF.md §6).
+type BufSender interface {
+	SendBuf(dst types.NID, buf *bufpool.Buf) error
+}
+
 // Network is a fabric nodes attach to.
 type Network interface {
 	// Attach registers a node and its delivery handler. Attaching an
@@ -50,4 +64,42 @@ type Network interface {
 	Attach(nid types.NID, h Handler) (Endpoint, error)
 	// Close tears down the fabric and all endpoints.
 	Close() error
+}
+
+// Delivery is one message of a batched delivery. Unlike Handler's msg,
+// ownership of Msg (and its pooled backing Buf, when non-nil) transfers to
+// the BatchHandler: the transport neither reuses nor retains them after
+// handing the batch over, so batch consumers can queue messages onward —
+// e.g. onto a delivery lane — without copying. Whoever finishes with the
+// message calls Release exactly once.
+type Delivery struct {
+	Src types.NID
+	Msg []byte
+	Buf *bufpool.Buf // pooled backing of Msg; nil when Msg is plainly allocated
+}
+
+// Release returns the message's pooled buffer, if any. Msg is invalid
+// afterwards.
+func (d *Delivery) Release() {
+	if d.Buf != nil {
+		d.Buf.Release()
+		d.Buf = nil
+	}
+	d.Msg = nil
+}
+
+// BatchHandler consumes one batch of delivered messages. The slice itself
+// is valid only during the call (the transport reuses it), but each
+// Delivery's message is owned by the handler — see Delivery. Batches for
+// one endpoint are delivered serially and in order, so a BatchHandler sees
+// the same per-(source, destination) FIFO stream a Handler would.
+type BatchHandler func(batch []Delivery)
+
+// BatchNetwork is implemented by networks whose delivery goroutine can
+// dequeue message batches per queue operation and hand them over in a
+// single call, amortizing per-message wakeups and handoffs (docs/PERF.md).
+type BatchNetwork interface {
+	Network
+	// AttachBatch is Attach with a batch handler.
+	AttachBatch(nid types.NID, h BatchHandler) (Endpoint, error)
 }

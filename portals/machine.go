@@ -70,9 +70,19 @@ func TCPStatic(localNID NID, listenAddr string, peers map[NID]string) Fabric {
 }
 
 // WithNIC overrides the node processing model (NIC-offload vs
-// host-interrupt) for nodes created on this fabric.
+// host-interrupt) for nodes created on this fabric. Other NIC settings
+// (lane count) are left as configured.
 func (f Fabric) WithNIC(model NICModel, interruptCost time.Duration) Fabric {
-	f.nic = nicsim.Config{Model: nicsim.Model(model), InterruptCost: interruptCost}
+	f.nic.Model = nicsim.Model(model)
+	f.nic.InterruptCost = interruptCost
+	return f
+}
+
+// WithLanes overrides the number of parallel delivery lanes per node
+// (docs/PERF.md §5): 0 defaults to GOMAXPROCS, 1 is the serial engine.
+// Per-(initiator, target) ordering (§4.1) holds at every lane count.
+func (f Fabric) WithLanes(lanes int) Fabric {
+	f.nic.Lanes = lanes
 	return f
 }
 
