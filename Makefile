@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race short bench sweep examples ci clean
+.PHONY: all build lint test race short bench sweep examples ci clean trace-smoke
 
 all: build lint test
 
@@ -31,15 +31,28 @@ race:
 # "cpus" field (names carry the usual "-N" suffix when N > 1).
 BENCHCPUS ?= 1,4
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . ./internal/obs/trace | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
+
+# trace-smoke exercises the observability subsystem end to end: a small
+# bypass run with the flight recorder and the metrics registry enabled,
+# then artifact validation (cmd/tracecheck). -require-bypass asserts the
+# §5.1 claim is visible in the capture: receive-side match/deliver/
+# event-post instants inside the application's compute-burn spans.
+trace-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/bypass -points 2 -iters 1 -max 2ms \
+		-trace $$tmp/trace.json -metrics $$tmp/metrics.prom >/dev/null && \
+	$(GO) run ./cmd/tracecheck -require-bypass \
+		-trace $$tmp/trace.json -metrics $$tmp/metrics.prom; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 # Regenerate every paper experiment (EXPERIMENTS.md records one such run).
 sweep:
 	$(GO) run ./cmd/sweep
 
 # ci is everything the GitHub Actions workflow runs, for local parity.
-ci: build lint test race
+ci: build lint test race trace-smoke
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -69,9 +69,13 @@ func parse(r io.Reader) (*Summary, error) {
 		Env:     map[string]string{"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0))},
 		Results: []Result{},
 	}
+	pkgVals := map[string]bool{}
 	handleLine := func(pkg, line string) {
 		line = strings.TrimSpace(line)
 		if m := envLine.FindStringSubmatch(line); m != nil {
+			if m[1] == "pkg" {
+				pkgVals[m[2]] = true
+			}
 			s.Env[m[1]] = m[2]
 			return
 		}
@@ -136,6 +140,12 @@ func parse(r io.Reader) (*Summary, error) {
 		if rest != "" {
 			handleLine(pkg, rest)
 		}
+	}
+	// In a multi-package run ("go test -bench ... ./pkg1 ./pkg2") the "pkg:"
+	// preamble appears once per package; a single env key would silently
+	// keep whichever came last. Drop it — each Result carries its Package.
+	if len(pkgVals) > 1 {
+		delete(s.Env, "pkg")
 	}
 	return s, sc.Err()
 }

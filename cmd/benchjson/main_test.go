@@ -62,6 +62,32 @@ func TestParseNoCPUSuffix(t *testing.T) {
 	}
 }
 
+// A multi-package bench run emits one "pkg:" preamble per package; the
+// summary must drop the ambiguous env key and rely on per-result Package.
+func TestParseMultiPackageDropsPkgEnv(t *testing.T) {
+	const multi = `{"Action":"output","Package":"repro","Output":"pkg: repro\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTranslateExact \t 100\t 119.4 ns/op\n"}
+{"Action":"output","Package":"repro/internal/obs/trace","Output":"pkg: repro/internal/obs/trace\n"}
+{"Action":"output","Package":"repro/internal/obs/trace","Output":"BenchmarkTraceRecord/Enabled \t 200\t 60.0 ns/op\t 0 B/op\t 0 allocs/op\n"}
+`
+	s, err := parse(strings.NewReader(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Env["pkg"]; ok {
+		t.Fatalf("ambiguous pkg env key survived a multi-package run: %v", s.Env)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(s.Results), s.Results)
+	}
+	if s.Results[1].Package != "repro/internal/obs/trace" || s.Results[1].Name != "BenchmarkTraceRecord/Enabled" {
+		t.Fatalf("trace benchmark not folded in: %+v", s.Results[1])
+	}
+	if s.Results[1].Metrics["allocs/op"] != 0 {
+		t.Fatalf("allocs/op not captured: %+v", s.Results[1].Metrics)
+	}
+}
+
 func TestParseIgnoresNonBench(t *testing.T) {
 	s, err := parse(strings.NewReader(`{"Action":"output","Output":"ok  \trepro\t0.5s\n"}`))
 	if err != nil {

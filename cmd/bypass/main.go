@@ -6,18 +6,29 @@
 // Usage:
 //
 //	bypass [-batch 10] [-size 51200] [-iters 5] [-testcalls 0] [-max 80ms] [-points 9]
+//	       [-trace trace.json] [-metrics metrics.prom]
 //
 // With -testcalls 3 it regenerates the §5.3 "related testing" variant in
 // which sprinkled MPI test calls let MPICH/GM catch up.
+//
+// -trace captures the per-message flight recorder (internal/obs/trace)
+// across the whole sweep and writes a Chrome Trace Event file; open it in
+// Perfetto (ui.perfetto.dev) to see receive-side match/deliver/event-post
+// instants landing inside the application's compute-burn spans — the §5.1
+// bypass claim, directly observable. -metrics writes the final Prometheus
+// text exposition of every layer's counters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -27,6 +38,8 @@ func main() {
 	testCalls := flag.Int("testcalls", 0, "MPI test calls sprinkled through the work interval")
 	maxWork := flag.Duration("max", 12*time.Millisecond, "largest work interval")
 	points := flag.Int("points", 9, "number of work-interval points")
+	traceOut := flag.String("trace", "", "write a Chrome Trace Event (Perfetto) capture to this file")
+	metricsOut := flag.String("metrics", "", "write the final Prometheus text exposition to this file")
 	flag.Parse()
 
 	cfg := experiments.DefaultBypassConfig()
@@ -34,6 +47,16 @@ func main() {
 	cfg.MsgSize = *size
 	cfg.Iters = *iters
 	cfg.TestCalls = *testCalls
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.Enable(trace.Config{})
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
 
 	works := make([]time.Duration, *points)
 	for i := range works {
@@ -57,4 +80,37 @@ func main() {
 		}
 		fmt.Printf("%-14v %-18v %-18v\n", w, gm.WaitTime.Round(time.Microsecond), pt.WaitTime.Round(time.Microsecond))
 	}
+
+	if rec != nil {
+		trace.Disable()
+		if err := writeFile(*traceOut, func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, rec.Snapshot())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace: %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if reg != nil {
+		if err := writeFile(*metricsOut, reg.WriteText); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# metrics: %s\n", *metricsOut)
+	}
+}
+
+// writeFile creates path, runs emit against it, and surfaces close errors
+// (the artifact is the whole point of the flag, so a short write must not
+// pass silently).
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,15 +6,22 @@
 //
 //	pingpong [-fabric myrinet|gige|loopback|tcp] [-iters 200]         # latency
 //	pingpong -bw [-fabric ...] [-count 64]                            # bandwidth sweep
+//
+// -trace captures the per-message flight recorder across the run as a
+// Chrome Trace Event file (open in ui.perfetto.dev); -metrics writes the
+// final Prometheus text exposition of every layer's counters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 	"repro/portals"
 )
 
@@ -38,6 +45,8 @@ func main() {
 	iters := flag.Int("iters", 200, "round trips per latency measurement")
 	bw := flag.Bool("bw", false, "run the bandwidth sweep instead of latency")
 	count := flag.Int("count", 64, "messages per bandwidth point")
+	traceOut := flag.String("trace", "", "write a Chrome Trace Event (Perfetto) capture to this file")
+	metricsOut := flag.String("metrics", "", "write the final Prometheus text exposition to this file")
 	flag.Parse()
 
 	fab, ok := fabricByName(*fabricName)
@@ -45,6 +54,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabricName)
 		os.Exit(2)
 	}
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.Enable(trace.Config{})
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	defer writeArtifacts(rec, reg, *traceOut, *metricsOut)
 
 	if *bw {
 		fmt.Printf("# Bandwidth vs message size over %s (E8)\n", *fabricName)
@@ -63,11 +82,48 @@ func main() {
 	fmt.Printf("# Ping-pong latency over %s (E3; paper: <20µs on the Myrinet MCP)\n", *fabricName)
 	fmt.Printf("%-10s %-14s\n", "size", "half-RTT")
 	for _, size := range []int{0, 8, 64, 1024, 8192, 65536} {
-		lat, err := experiments.PingPong(fab, experiments.PingPongConfig{Size: size, Iters: *iters})
+		lat, err := experiments.PingPong(fab, experiments.PingPongConfig{Size: size, Iters: *iters, Metrics: reg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("%-10d %-14v\n", size, lat.Round(100*time.Nanosecond))
 	}
+}
+
+// writeArtifacts drains the flight recorder and the metric registry to the
+// requested files. It runs deferred on the success paths; error paths
+// os.Exit without artifacts, which is the right failure mode (a partial
+// capture would look like a complete one).
+func writeArtifacts(rec *trace.Recorder, reg *metrics.Registry, tracePath, metricsPath string) {
+	if rec != nil {
+		trace.Disable()
+		if err := writeFile(tracePath, func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, rec.Snapshot())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace: %s (open in ui.perfetto.dev)\n", tracePath)
+	}
+	if reg != nil {
+		if err := writeFile(metricsPath, reg.WriteText); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# metrics: %s\n", metricsPath)
+	}
+}
+
+// writeFile creates path, runs emit against it, and surfaces close errors.
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

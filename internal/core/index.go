@@ -59,6 +59,11 @@ type portal struct {
 	exact    map[exactKey][]*matchEntry
 	anyInit  map[types.MatchBits][]*matchEntry
 	residual []*matchEntry
+
+	// walkSteps is the length of the most recent translate walk, stashed
+	// under mu so the receive handlers can attach it to their match-done
+	// flight-recorder records without widening translate's signature.
+	walkSteps int
 }
 
 // classify places an entry into one of the three index classes. The class

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/eventq"
+	"repro/internal/obs/trace"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -48,6 +49,9 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 	}
 	size := d.view.size()
 	h := wire.NewPut(s.self, target, ptl, cookie, bits, remoteOffset, md, size, ack)
+	h.Seq = s.nextSeq()
+	trace.Record(trace.StageTxEnqueue,
+		uint32(s.self.NID), uint32(s.self.PID), uint64(h.Seq), size)
 	// Gather header+payload straight into a pooled buffer: a transport that
 	// implements SendBuf (loopback) carries this exact buffer to the target
 	// delivery engine, making the gather the only initiator-side copy.
@@ -67,6 +71,7 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 			MLength:   h.RLength,
 			MD:        d.handle,
 			UserPtr:   d.md.UserPtr,
+			MsgSeq:    uint64(h.Seq),
 		})
 	}
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
@@ -96,6 +101,9 @@ func (s *State) StartGet(md types.Handle, target types.ProcessID,
 		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
 	}
 	h := wire.NewGet(s.self, target, ptl, cookie, bits, remoteOffset, md, d.view.size())
+	h.Seq = s.nextSeq()
+	trace.Record(trace.StageTxEnqueue,
+		uint32(s.self.NID), uint32(s.self.PID), uint64(h.Seq), d.view.size())
 	b := bufpool.Get(wire.HeaderSize)
 	s.counters.Pool(b.Reused())
 	h.Encode(b.Bytes())

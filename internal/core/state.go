@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/acl"
 	"repro/internal/eventq"
@@ -54,7 +55,15 @@ type State struct {
 
 	acl      *acl.List
 	counters *stats.Counters
+
+	// sendSeq numbers outgoing puts/gets (wire.Header.Seq); acks and
+	// replies echo it, so (self, seq) identifies one message's full round
+	// trip in the internal/obs/trace flight recorder.
+	sendSeq atomic.Uint64
 }
+
+// nextSeq returns the next wire sequence number for an outgoing operation.
+func (s *State) nextSeq() uint32 { return uint32(s.sendSeq.Add(1)) }
 
 // NewState builds the Portals state for one process. The ACL comes
 // pre-initialized by the runtime (entries 0 and 1, §4.5); counters may be

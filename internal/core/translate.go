@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/bufpool"
 	"repro/internal/eventq"
+	"repro/internal/obs/trace"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -157,10 +158,12 @@ func (s *State) translate(p *portal, h *wire.Header, want types.MDOptions) (*mem
 		d := cand.mds[0]
 		if offset, mlength, ok := accept(d, h, want); ok {
 			s.counters.MatchWalk(steps, src != idxResidual)
+			p.walkSteps = steps
 			return d, offset, mlength, types.DropNone
 		}
 	}
 	s.counters.MatchWalk(steps, false)
+	p.walkSteps = steps
 	return nil, 0, 0, types.DropNoMatch
 }
 
@@ -208,6 +211,7 @@ func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Head
 			Offset:    offset,
 			MD:        d.handle,
 			UserPtr:   d.md.UserPtr,
+			MsgSeq:    uint64(h.Seq),
 		})
 	}
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
@@ -221,14 +225,29 @@ func (s *State) recvPut(h *wire.Header, payload []byte, out []Outbound) []Outbou
 		return out
 	}
 	p := s.table[h.PtlIndex]
+	// One hoisted Enabled check per message keeps the disabled-tracer cost
+	// on this path to a single predicted branch.
+	traced := trace.Enabled()
 	p.mu.Lock()
+	if traced {
+		trace.Record(trace.StageMatchStart,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), 0)
+	}
 	d, offset, mlength, reason := s.translate(p, h, types.MDOpPut)
+	if traced {
+		trace.Record(trace.StageMatchDone,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), uint64(p.walkSteps))
+	}
 	if reason != types.DropNone {
 		p.mu.Unlock()
 		s.counters.Drop(reason)
 		return out
 	}
 	d.view.writeAt(offset, payload[:mlength])
+	if traced {
+		trace.Record(trace.StageDeliver,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), mlength)
+	}
 	s.counters.Recv(int(mlength))
 	ackWanted := h.AckRequested() && d.md.Options&types.MDAckDisable == 0
 	s.finishOperation(d, types.EventPut, h, offset, mlength)
@@ -251,8 +270,17 @@ func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
 		return out
 	}
 	p := s.table[h.PtlIndex]
+	traced := trace.Enabled()
 	p.mu.Lock()
+	if traced {
+		trace.Record(trace.StageMatchStart,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), 0)
+	}
 	d, offset, mlength, reason := s.translate(p, h, types.MDOpGet)
+	if traced {
+		trace.Record(trace.StageMatchDone,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), uint64(p.walkSteps))
+	}
 	if reason != types.DropNone {
 		p.mu.Unlock()
 		s.counters.Drop(reason)
@@ -267,6 +295,10 @@ func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
 	s.counters.Pool(b.Reused())
 	n := reply.Encode(b.Bytes())
 	d.view.readInto(b.Bytes()[n:], offset)
+	if traced {
+		trace.Record(trace.StageDeliver,
+			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), mlength)
+	}
 	s.counters.Recv(0)
 	s.finishOperation(d, types.EventGet, h, offset, mlength)
 	p.mu.Unlock()
@@ -296,6 +328,10 @@ func (s *State) recvAck(h *wire.Header) {
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
+	// The ack closes the span this process opened at StartPut: key by
+	// (self, seq), not by the ack header's (swapped) initiator.
+	trace.Record(trace.StageAck,
+		uint32(s.self.NID), uint32(s.self.PID), uint64(h.Seq), h.MLength)
 	q.Post(eventq.Event{
 		Type:      types.EventAck,
 		Initiator: h.Initiator,
@@ -355,6 +391,9 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 		mlength = max // unconditional truncation for replies
 	}
 	d.view.writeAt(0, payload[:mlength])
+	// The reply closes the span opened at StartGet: key by (self, seq).
+	trace.Record(trace.StageAck,
+		uint32(s.self.NID), uint32(s.self.PID), uint64(h.Seq), mlength)
 	s.counters.Recv(int(mlength))
 	if d.pending > 0 {
 		d.pending--

@@ -24,6 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 	"repro/internal/types"
 )
 
@@ -40,6 +42,11 @@ type Event struct {
 	MD        types.Handle
 	UserPtr   any // the user_ptr of the memory descriptor involved
 	Sequence  uint64
+	// MsgSeq is the wire header's per-initiator message sequence number
+	// (wire.Header.Seq); together with Initiator it keys the message's span
+	// in the internal/obs/trace flight recorder. Zero for events that do not
+	// belong to a traced message.
+	MsgSeq uint64
 }
 
 // slot is one ring cell. seq carries the seqlock stamp for the cell's
@@ -124,6 +131,9 @@ func (q *Queue) publish(pos uint64, ev Event) {
 	ev.Sequence = pos
 	sl.ev = ev
 	sl.seq.Store(doneStamp(pos))
+	posted.Add(1)
+	trace.Record(trace.StageEventPost,
+		uint32(ev.Initiator.NID), uint32(ev.Initiator.PID), ev.MsgSeq, uint64(ev.Type))
 	q.wake()
 }
 
@@ -159,6 +169,7 @@ func (q *Queue) postFull(ev Event) {
 			}
 			q.consumed.Store(c + 1)
 			q.overrun = true
+			overwritten.Add(1)
 		}
 		if q.produced.CompareAndSwap(pos, pos+1) {
 			q.publish(pos, ev)
@@ -223,6 +234,9 @@ func (r Reservation) Publish(ev Event) {
 	ev.Sequence = r.pos
 	sl.ev = ev
 	sl.seq.Store(doneStamp(r.pos))
+	posted.Add(1)
+	trace.Record(trace.StageEventPost,
+		uint32(ev.Initiator.NID), uint32(ev.Initiator.PID), ev.MsgSeq, uint64(ev.Type))
 	r.q.wake()
 }
 
@@ -344,4 +358,21 @@ func (q *Queue) Close() {
 // Closed reports whether Close has been called.
 func (q *Queue) Closed() bool {
 	return q.closed.Load()
+}
+
+// Process-wide event-ring telemetry. Package-level (rather than per-queue)
+// because queues are created and torn down with every MD/ME binding; the
+// interesting signal — how often the §4.8 circular overwrite fires — is
+// global. Both bumps are single atomic adds on paths that already RMW.
+var (
+	posted      atomic.Int64 // events made visible (fast path + reservations)
+	overwritten atomic.Int64 // unconsumed events dropped by the overwrite path
+)
+
+// RegisterMetrics exposes the package-wide event-ring counters.
+func RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	r.CounterFunc("portals_eventq_posted_total",
+		"events made visible to consumers", ls, posted.Load)
+	r.CounterFunc("portals_eventq_overwritten_total",
+		"unconsumed events overwritten by the circular full-queue path (§4.8)", ls, overwritten.Load)
 }

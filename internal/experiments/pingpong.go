@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs/metrics"
 	"repro/portals"
 )
 
@@ -14,6 +15,9 @@ import (
 type PingPongConfig struct {
 	Size  int // payload bytes (0 for the paper's headline number)
 	Iters int // round trips to average over
+	// Metrics, when non-nil, receives every layer's counters for the
+	// machine under test (Machine.RegisterMetrics).
+	Metrics *metrics.Registry
 }
 
 // PingPong measures half-round-trip latency for Size-byte Portals puts
@@ -31,6 +35,9 @@ func PingPong(fab portals.Fabric, cfg PingPongConfig) (time.Duration, error) {
 	b, err := m.NIInit(2, 1, portals.Limits{})
 	if err != nil {
 		return 0, err
+	}
+	if cfg.Metrics != nil {
+		m.RegisterMetrics(cfg.Metrics)
 	}
 
 	arm := func(ni *portals.NI, size int) (portals.Handle, []byte, error) {

@@ -91,16 +91,42 @@ func isCounterTypeName(name string) bool {
 	return strings.HasSuffix(name, "Counters") || strings.HasSuffix(name, "Stats")
 }
 
-// isAtomicType accepts sync/atomic types and arrays of them.
+// isAtomicType accepts sync/atomic types, arrays of them, and named struct
+// types composed entirely of such types. The last case admits
+// struct-of-atomics values — e.g. the obs histogram, whose buckets, sum,
+// and count are all atomic.Int64 — which are exactly as safe for
+// concurrent hot-path use as a bare atomic field.
 func isAtomicType(t types.Type) bool {
+	return isAtomicTypeRec(t, make(map[types.Type]bool))
+}
+
+func isAtomicTypeRec(t types.Type, seen map[types.Type]bool) bool {
 	for {
+		if seen[t] {
+			// A cycle can only pass through named structs already being
+			// checked; answering yes here lets the outer check decide.
+			return true
+		}
+		seen[t] = true
 		switch tt := t.(type) {
 		case *types.Array:
 			t = tt.Elem()
 			continue
 		case *types.Named:
 			obj := tt.Obj()
-			return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+			st, ok := tt.Underlying().(*types.Struct)
+			if !ok || st.NumFields() == 0 {
+				return false
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if !isAtomicTypeRec(st.Field(i).Type(), seen) {
+					return false
+				}
+			}
+			return true
 		default:
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // blockOp is one potentially blocking operation found in a function body.
@@ -150,12 +151,37 @@ var blockingMethodNames = map[string]bool{
 	"Wait": true, "EQWait": true, "EQPoll": true, "Poll": true,
 }
 
+// obsTraceSlowFuncs is the internal/obs/trace surface that is NOT the
+// lock-free Record fast path: snapshotting copies and sorts, exporters
+// allocate and write, Enable/Disable swap the global recorder. None of it
+// belongs on a delivery path — handlers get Record and nothing else.
+var obsTraceSlowFuncs = map[string]bool{
+	"Snapshot": true, "WriteChromeTrace": true, "WriteDump": true,
+	"Enable": true, "Disable": true,
+}
+
+// obsMetricsSlowFuncs is the internal/obs/metrics surface that takes the
+// registry lock or formats output. Registration and exposition run at
+// setup/scrape time; delivery paths may only touch already-registered
+// Counter/Gauge/Histogram values (Inc/Add/Set/Observe — plain atomics).
+var obsMetricsSlowFuncs = map[string]bool{
+	"Counter": true, "CounterFunc": true, "Gauge": true, "GaugeFunc": true,
+	"Histogram": true, "RegisterHistogram": true, "NewRegistry": true,
+	"WriteText": true, "PublishExpvar": true,
+}
+
 // classifyBlockingCall decides whether a static callee is a known
 // blocking API.
 func classifyBlockingCall(fn *types.Func) (blockOp, bool) {
 	path := pkgPathOf(fn)
 	name := fn.Name()
 	recv := recvNamed(fn)
+	if strings.HasSuffix(path, "internal/obs/trace") && obsTraceSlowFuncs[name] {
+		return blockOp{desc: "obs/trace exporter API (" + name + ")"}, true
+	}
+	if strings.HasSuffix(path, "internal/obs/metrics") && obsMetricsSlowFuncs[name] {
+		return blockOp{desc: "obs/metrics registration/exposition API (" + name + ")"}, true
+	}
 	switch path {
 	case "time":
 		if recv == nil && name == "Sleep" {

@@ -227,6 +227,91 @@ type Snapshot struct{ N int64 }
 	}, []Check{atomicsCheck{}})
 }
 
+func TestAtomicsOnlyStructOfAtomics(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/st2": {"st2.go": `package st2
+
+import "sync/atomic"
+
+// Hist is a struct-of-atomics: every field (transitively) is a
+// sync/atomic type, so it is admissible inside a counter struct.
+type Hist struct {
+	buckets [4]atomic.Int64
+	sum     atomic.Int64
+}
+
+// Mixed is not: the plain string disqualifies the whole struct.
+type Mixed struct {
+	n atomic.Int64
+	s string
+}
+
+type FlowStats struct {
+	ok   atomic.Int64
+	hist Hist
+	bad  Mixed // want:atomicsonly
+}
+
+func touch(s *FlowStats) {
+	s.ok.Add(1)
+	s.hist.sum.Add(2)
+	_ = s.bad // want:atomicsonly
+}
+`},
+	}, []Check{atomicsCheck{}})
+}
+
+func TestBypassViolationObsAPIs(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/obs/trace": {"trace.go": `package trace
+
+// Stubs with the real package's names: classification is by package-path
+// suffix plus function name, so empty bodies exercise the same rule.
+func Record(stage uint8)     {}
+func Snapshot() []int        { return nil }
+func WriteDump(x []int)      {}
+func Enable()                {}
+`},
+		"repro/internal/obs/metrics": {"metrics.go": `package metrics
+
+type Registry struct{}
+
+func (*Registry) CounterFunc(name string) {}
+func (*Registry) WriteText()              {}
+
+type Counter struct{}
+
+func (*Counter) Add(d int64) {}
+`},
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+import (
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
+)
+
+type Node struct {
+	c *metrics.Counter
+	r *metrics.Registry
+}
+
+// The non-blocking fast path is admissible on delivery goroutines.
+func (n *Node) onMessage() {
+	trace.Record(1)
+	n.c.Add(1)
+}
+
+// Exporters and registration are not.
+func (n *Node) onBatch() {
+	trace.Snapshot()        // want:bypassviolation
+	trace.WriteDump(nil)    // want:bypassviolation
+	n.r.CounterFunc("x")    // want:bypassviolation
+	n.r.WriteText()         // want:bypassviolation
+}
+`},
+	}, []Check{bypassCheck{}})
+}
+
 func TestCheckedErr(t *testing.T) {
 	runFixture(t, map[string]map[string]string{
 		"repro/internal/core": {"core.go": `package core

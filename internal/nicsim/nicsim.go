@@ -38,8 +38,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strconv"
+
 	"repro/internal/bufpool"
 	"repro/internal/core"
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -127,6 +131,11 @@ type Node struct {
 	cfg      Config
 	counters stats.Counters // node-level: bad-target drops, interrupts
 
+	// burstSizes tracks messages per lane dispatch burst (how well channel
+	// operations amortize). Observe is three atomic adds per burst — cheap
+	// next to the channel send it annotates.
+	burstSizes metrics.Histogram
+
 	procs atomic.Pointer[procMap]
 
 	mu     sync.Mutex // guards copy-on-write of procs, and closed
@@ -192,6 +201,26 @@ func (n *Node) Counters() *stats.Counters { return &n.counters }
 
 // Lanes reports the number of delivery lanes in effect.
 func (n *Node) Lanes() int { return n.cfg.Lanes }
+
+// RegisterMetrics exposes the node's counters, its burst-size histogram,
+// a per-lane queue-depth gauge, and — when the transport endpoint itself is
+// a metrics.Registerer (rtscts.Conn) — the endpoint's stats, all under the
+// given labels. Gauges read lane-channel lengths at exposition time only.
+func (n *Node) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	n.counters.RegisterMetrics(r, ls)
+	r.RegisterHistogram("portals_lane_burst_msgs",
+		"messages per lane dispatch burst", ls, &n.burstSizes)
+	for i, ln := range n.lanes {
+		ch := ln.ch
+		r.GaugeFunc("portals_lane_depth_bursts",
+			"dispatch bursts queued on the lane",
+			ls.With(metrics.L("lane", strconv.Itoa(i))),
+			func() int64 { return int64(len(ch)) })
+	}
+	if reg, ok := n.ep.(metrics.Registerer); ok {
+		reg.RegisterMetrics(r, ls)
+	}
+}
 
 // AddProcess registers a process's Portals state under its PID.
 func (n *Node) AddProcess(pid types.PID, s *core.State) error {
@@ -316,7 +345,10 @@ func (n *Node) onMessage(src types.NID, msg []byte) {
 	m.payload = b.Bytes()[wire.HeaderSize : wire.HeaderSize+uint64(len(m.payload))]
 	g := burstPool.Get().(*[]laneMsg)
 	*g = append(*g, m)
-	n.dispatch(laneIndex(m.src, m.hdr.Target.PID, len(n.lanes)), g)
+	li := laneIndex(m.src, m.hdr.Target.PID, len(n.lanes))
+	trace.Record(trace.StageLaneDispatch,
+		uint32(m.hdr.Initiator.NID), uint32(m.hdr.Initiator.PID), uint64(m.hdr.Seq), uint64(li))
+	n.dispatch(li, g)
 }
 
 // onBatch is the batched delivery entry (transport.BatchHandler). Message
@@ -343,6 +375,7 @@ func (n *Node) onBatch(batch []transport.Delivery) {
 		return
 	}
 	groups := make([]*[]laneMsg, len(n.lanes))
+	traced := trace.Enabled() // hoisted: one branch per batch when disabled
 	for i := range batch {
 		d := &batch[i]
 		m, ok := n.admit(d.Src, d.Msg)
@@ -353,6 +386,10 @@ func (n *Node) onBatch(batch []transport.Delivery) {
 		m.buf = d.Buf
 		d.Buf = nil
 		li := laneIndex(m.src, m.hdr.Target.PID, len(n.lanes))
+		if traced {
+			trace.Record(trace.StageLaneDispatch,
+				uint32(m.hdr.Initiator.NID), uint32(m.hdr.Initiator.PID), uint64(m.hdr.Seq), uint64(li))
+		}
 		if groups[li] == nil {
 			groups[li] = burstPool.Get().(*[]laneMsg)
 		}
@@ -375,6 +412,7 @@ func (n *Node) dispatch(li int, g *[]laneMsg) {
 		releaseBurst(g)
 		return
 	}
+	n.burstSizes.Observe(int64(len(*g)))
 	// A full lane blocks here — the documented backpressure policy (see
 	// Config.LaneDepth): flow control propagates to the transport instead
 	// of dropping, and lane drain is independent of the application.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/metrics"
 	"repro/internal/transport"
 	"repro/internal/transport/simnet"
 	"repro/internal/types"
@@ -16,8 +17,14 @@ type Config struct {
 	// Window is the Go-Back-N window in packets per destination.
 	Window int
 	// RTO is the retransmission timeout. It must exceed the fabric's
-	// round-trip time comfortably.
+	// round-trip time comfortably. It is the FIRST retransmission delay;
+	// subsequent attempts back off exponentially (doubling, with jitter)
+	// up to RTOMax, so a dead peer costs O(log) retransmissions instead of
+	// a fixed-rate resend storm.
 	RTO time.Duration
+	// RTOMax caps the exponential backoff between retransmission attempts.
+	// Zero selects 16×RTO.
+	RTOMax time.Duration
 	// EagerMax is the largest message sent eagerly; longer messages
 	// perform RTS/CTS rendezvous first. Zero selects the default (32 KB,
 	// mirroring Cplant's long-message threshold order of magnitude).
@@ -36,6 +43,12 @@ func (c Config) withDefaults() Config {
 	if c.RTO <= 0 {
 		c.RTO = 10 * time.Millisecond
 	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 16 * c.RTO
+	}
+	if c.RTOMax < c.RTO {
+		c.RTOMax = c.RTO
+	}
 	if c.EagerMax <= 0 {
 		c.EagerMax = 32 * 1024
 	}
@@ -43,6 +56,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats counts protocol events, for tests and the bandwidth experiments.
+// Backoff is a lock-free histogram of the per-attempt retransmission delay
+// (nanoseconds) — every field here is sync/atomic or composed of them, so
+// bumping stats never serializes delivery goroutines.
 type Stats struct {
 	Retransmits   atomic.Int64
 	DupsDiscarded atomic.Int64
@@ -51,6 +67,7 @@ type Stats struct {
 	CTSSent       atomic.Int64
 	AcksSent      atomic.Int64
 	MsgsDelivered atomic.Int64
+	Backoff       metrics.Histogram
 }
 
 // Conn is a node's reliable attachment: it implements transport.Endpoint
@@ -94,6 +111,22 @@ func Attach(net *simnet.Network, nid types.NID, cfg Config, h transport.Handler)
 
 // Stats exposes the protocol counters.
 func (c *Conn) Stats() *Stats { return &c.stats }
+
+// RegisterMetrics exposes the reliability-layer counters and the
+// retransmission-backoff histogram. Counter series are views over the
+// existing atomics; nothing on the packet paths changes.
+func (c *Conn) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	st := &c.stats
+	r.CounterFunc("portals_rtscts_retransmits_total", "Go-Back-N packets retransmitted", ls, st.Retransmits.Load)
+	r.CounterFunc("portals_rtscts_dups_total", "duplicate packets discarded", ls, st.DupsDiscarded.Load)
+	r.CounterFunc("portals_rtscts_out_of_order_total", "out-of-window packets discarded", ls, st.OutOfOrder.Load)
+	r.CounterFunc("portals_rtscts_rts_total", "rendezvous RTS announcements sent", ls, st.RTSSent.Load)
+	r.CounterFunc("portals_rtscts_cts_total", "rendezvous CTS grants sent", ls, st.CTSSent.Load)
+	r.CounterFunc("portals_rtscts_acks_total", "cumulative acks sent", ls, st.AcksSent.Load)
+	r.CounterFunc("portals_rtscts_delivered_total", "complete messages delivered in order", ls, st.MsgsDelivered.Load)
+	r.RegisterHistogram("portals_rtscts_backoff_ns",
+		"retransmission backoff delay per attempt (capped exponential, jittered)", ls, &st.Backoff)
+}
 
 // LocalNID reports the attached node id.
 func (c *Conn) LocalNID() types.NID { return c.ep.LocalNID() }

@@ -1,6 +1,7 @@
 package rtscts
 
 import (
+	"repro/internal/obs/metrics"
 	"repro/internal/transport"
 	"repro/internal/transport/simnet"
 	"repro/internal/types"
@@ -23,6 +24,14 @@ func NewNetwork(sim *simnet.Network, cfg Config) *Network {
 
 // Sim exposes the underlying fabric (for fault-injection stats in tests).
 func (n *Network) Sim() *simnet.Network { return n.sim }
+
+// RegisterMetrics exposes the underlying fabric's counters. Per-node
+// reliability counters register through each attachment's Conn (the
+// delivery engine delegates to its endpoint), so they are not repeated
+// here.
+func (n *Network) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	n.sim.RegisterMetrics(r, ls)
+}
 
 // Attach registers a node with reliability on top of the fabric.
 func (n *Network) Attach(nid types.NID, h transport.Handler) (transport.Endpoint, error) {

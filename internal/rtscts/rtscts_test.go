@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs/metrics"
 	"repro/internal/transport/simnet"
 	"repro/internal/types"
 )
@@ -358,5 +360,77 @@ func TestNetworkAdapter(t *testing.T) {
 	waitFor(t, 5*time.Second, func() bool { return s.count() == 1 })
 	if n.Sim() == nil {
 		t.Error("Sim() nil")
+	}
+}
+
+// TestBackoffGrowsUnderTotalLoss drives a sender against a black-hole
+// fabric and checks that retransmission attempts back off exponentially:
+// the per-attempt delay histogram must record strictly fewer attempts than
+// a fixed-RTO schedule would, and delays at or near RTOMax must appear.
+func TestBackoffGrowsUnderTotalLoss(t *testing.T) {
+	cfg := simnet.Config{MTU: 1024, LossRate: 1.0, Seed: 7}
+	rcfg := Config{RTO: 2 * time.Millisecond, RTOMax: 16 * time.Millisecond}
+	a, _, _, _, _ := pairOn(t, cfg, rcfg)
+
+	if err := a.Send(2, []byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	// At RTO=2ms capped at 16ms, the schedule is 2,4,8,16,16,... so in
+	// 150ms we expect roughly 10 attempts; a fixed 2ms timer would make ~75.
+	time.Sleep(150 * time.Millisecond)
+
+	st := a.Stats()
+	attempts := st.Backoff.Count()
+	if attempts < 3 {
+		t.Fatalf("expected several retransmission attempts, got %d", attempts)
+	}
+	if attempts > 25 {
+		t.Fatalf("too many attempts (%d): backoff is not slowing the schedule", attempts)
+	}
+	if st.Retransmits.Load() < attempts {
+		t.Fatalf("retransmits %d < attempts %d", st.Retransmits.Load(), attempts)
+	}
+	// Jitter never shrinks a delay, so the average must exceed the initial
+	// RTO once the schedule has doubled a few times.
+	if avg := st.Backoff.Sum() / attempts; avg <= int64(rcfg.RTO) {
+		t.Fatalf("mean backoff %v never grew beyond RTO %v", time.Duration(avg), rcfg.RTO)
+	}
+}
+
+// TestBackoffResetsOnProgress checks that cumulative-ack progress collapses
+// the schedule: after a lossless exchange, a fresh stall starts again at RTO.
+func TestBackoffResetsOnProgress(t *testing.T) {
+	a, _, _, sb, _ := pairOn(t, simnet.Instant(), Config{RTO: 2 * time.Millisecond})
+	if err := a.Send(2, []byte("warm up")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return sb.count() == 1 })
+	if n := a.Stats().Backoff.Count(); n != 0 {
+		t.Fatalf("lossless exchange recorded %d backoff attempts", n)
+	}
+}
+
+func TestConnRegisterMetrics(t *testing.T) {
+	a, _, _, sb, _ := pairOn(t, simnet.Instant(), Config{})
+	if err := a.Send(2, []byte("counted")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return sb.count() == 1 })
+
+	r := metrics.NewRegistry()
+	a.RegisterMetrics(r, metrics.L("node", "1"))
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"portals_rtscts_acks_total",
+		"portals_rtscts_backoff_ns_count",
+		`node="1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -2,9 +2,11 @@ package rtscts
 
 import (
 	"encoding/binary"
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/types"
 )
 
@@ -183,6 +185,10 @@ func (s *peerSender) sendReliable(flags uint8, aux uint64, payload []byte) {
 	s.lastSend = time.Now()
 	s.wmu.Unlock()
 
+	// Packet-level spans are keyed (src NID, pid 0, packet seq); pid 0
+	// distinguishes them from the (initiator NID/PID, header seq) message
+	// spans above the reliability layer.
+	trace.Record(trace.StageWireTx, uint32(s.c.LocalNID()), 0, seq, uint64(len(pkt)))
 	_ = s.c.ep.SendPacket(s.dst, pkt) // loss is the retransmit loop's job
 }
 
@@ -215,28 +221,72 @@ func (s *peerSender) onAck(cumAck uint64) {
 	s.wmu.Unlock()
 }
 
-// retransmitLoop implements Go-Back-N recovery: if the window has been
-// stuck for an RTO, resend everything outstanding.
+// retransmitLoop implements Go-Back-N recovery with capped exponential
+// backoff: the first resend fires one RTO after the window stalls, and each
+// consecutive resend without window progress doubles the delay — jittered
+// upward by up to 25% — until RTOMax. Any cumulative-ack progress resets
+// the schedule to RTO. Backoff bounds the bandwidth a dead or partitioned
+// peer can soak up, and the jitter keeps peers that shared one loss event
+// from resynchronizing their retransmission bursts.
 func (s *peerSender) retransmitLoop() {
-	tick := time.NewTicker(s.c.cfg.RTO / 2)
-	defer tick.Stop()
+	rto := s.c.cfg.RTO
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(s.dst)<<17))
+	delay := rto               // current stall threshold / inter-attempt gap
+	lastBase := uint64(0)      // window base at the previous wakeup
+	poll := jitter(rng, rto/2) // idle-granularity wakeup, as the old ticker had
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.done:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		s.wmu.Lock()
-		stuck := len(s.inFlight) > 0 && time.Since(s.lastSend) >= s.c.cfg.RTO
+		if s.base != lastBase {
+			// The peer acked something since we last looked: the path is
+			// alive, so collapse the backoff schedule back to one RTO.
+			lastBase = s.base
+			delay = rto
+		}
+		stuck := len(s.inFlight) > 0 && time.Since(s.lastSend) >= delay
 		var resend [][]byte
+		baseSeq := s.base
 		if stuck {
 			resend = append(resend, s.inFlight...)
 			s.lastSend = time.Now()
 		}
 		s.wmu.Unlock()
-		for _, pkt := range resend {
-			s.c.stats.Retransmits.Add(1)
-			_ = s.c.ep.SendPacket(s.dst, pkt)
+
+		wait := poll
+		if stuck {
+			s.c.stats.Backoff.Observe(int64(delay))
+			traced := trace.Enabled()
+			for i, pkt := range resend {
+				s.c.stats.Retransmits.Add(1)
+				if traced {
+					trace.Record(trace.StageRetransmit, uint32(s.c.LocalNID()), 0,
+						baseSeq+uint64(i), uint64(delay))
+				}
+				_ = s.c.ep.SendPacket(s.dst, pkt)
+			}
+			delay *= 2
+			if delay > s.c.cfg.RTOMax {
+				delay = s.c.cfg.RTOMax
+			}
+			// Sleep the whole (jittered) backoff before even rechecking:
+			// a resend burst can't fire earlier than the schedule allows.
+			wait = jitter(rng, delay)
 		}
+		timer.Reset(wait)
 	}
+}
+
+// jitter spreads d over [d, 1.25d) so independent senders never lock step.
+// One-sided jitter keeps d a floor: backoff guarantees are never weakened.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/4+1))
 }

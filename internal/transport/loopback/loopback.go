@@ -21,17 +21,40 @@ package loopback
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufpool"
+	"repro/internal/obs/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
 
+// Stats counts fabric-level events; every field is an atomic, bumped
+// without any lock beyond what the paths already hold.
+type Stats struct {
+	Sent      atomic.Int64 // messages accepted into a destination queue
+	Delivered atomic.Int64 // messages handed to a handler
+	Dropped   atomic.Int64 // messages to closed nodes, discarded
+}
+
 // Network is an in-process fabric. The zero value is not usable; call New.
 type Network struct {
+	stats Stats
+
 	mu     sync.Mutex
 	nodes  map[types.NID]*endpoint
 	closed bool
+}
+
+// Stats exposes the fabric counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// RegisterMetrics exposes the fabric counters as CounterFunc views.
+func (n *Network) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	st := &n.stats
+	r.CounterFunc("portals_fabric_sent_total", "messages accepted by the fabric", ls, st.Sent.Load)
+	r.CounterFunc("portals_fabric_delivered_total", "messages handed to a destination handler", ls, st.Delivered.Load)
+	r.CounterFunc("portals_fabric_lost_total", "messages dropped at detached nodes", ls, st.Dropped.Load)
 }
 
 // New creates an empty loopback fabric.
@@ -121,6 +144,7 @@ func (ep *endpoint) deliveryLoop() {
 		batch := ep.queue
 		ep.queue = spare[:0]
 		ep.mu.Unlock()
+		ep.net.stats.Delivered.Add(int64(len(batch)))
 		if ep.bhandler != nil {
 			ep.bhandler(batch) // message ownership moves to the handler
 		} else {
@@ -152,10 +176,12 @@ func (ep *endpoint) enqueueBuf(src types.NID, buf *bufpool.Buf) {
 	if ep.closed {
 		ep.mu.Unlock()
 		buf.Release()
+		ep.net.stats.Dropped.Add(1)
 		return // messages to a detached node vanish, like any network
 	}
 	ep.queue = append(ep.queue, transport.Delivery{Src: src, Msg: buf.Bytes(), Buf: buf})
 	ep.mu.Unlock()
+	ep.net.stats.Sent.Add(1)
 	ep.cond.Signal()
 }
 

@@ -73,9 +73,10 @@ func (l *link) enqueue(pkt []byte) {
 	}
 	if qcap := l.net.cfg.QueueCap; qcap > 0 && len(l.queue) >= qcap {
 		l.mu.Unlock()
-		cp.Release()
 		l.net.stats.TailDrops.Add(1)
 		l.net.stats.Lost.Add(1)
+		l.net.recordLoss(l.src, len(cp.Bytes()))
+		cp.Release()
 		return
 	}
 	l.queue = append(l.queue, cp)
@@ -131,6 +132,7 @@ func (l *link) pace() {
 		// passes. emit is a fixed array so pacing allocates nothing.
 		if cfg.LossRate > 0 && l.net.random() < cfg.LossRate {
 			l.net.stats.Lost.Add(1)
+			l.net.recordLoss(l.src, len(pkt.Bytes()))
 			pkt.Release()
 			continue
 		}
@@ -186,6 +188,7 @@ func (l *link) transmit(p *bufpool.Buf, lastEnd *time.Time, cfg Config) {
 		// Wire buffer overflow (or link torn down): congestion drop.
 		l.net.stats.TailDrops.Add(1)
 		l.net.stats.Lost.Add(1)
+		l.net.recordLoss(l.src, len(p.Bytes()))
 		p.Release()
 		return
 	}

@@ -21,6 +21,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 	"repro/internal/types"
 )
 
@@ -74,8 +76,9 @@ type Stats struct {
 
 // Network is a simulated fabric.
 type Network struct {
-	cfg   Config
-	stats Stats
+	cfg     Config
+	stats   Stats
+	lossSeq atomic.Uint64 // keys flight-recorder loss instants
 
 	mu     sync.Mutex
 	nodes  map[types.NID]*Endpoint
@@ -101,6 +104,28 @@ func New(cfg Config) *Network {
 
 // Stats exposes the fabric counters.
 func (n *Network) Stats() *Stats { return &n.stats }
+
+// RegisterMetrics exposes the fabric counters as CounterFunc views; the
+// packet pipeline keeps bumping the same atomics it always did.
+func (n *Network) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	st := &n.stats
+	r.CounterFunc("portals_fabric_sent_total", "packets accepted by the fabric", ls, st.Sent.Load)
+	r.CounterFunc("portals_fabric_delivered_total", "packets handed to a destination handler", ls, st.Delivered.Load)
+	r.CounterFunc("portals_fabric_lost_total", "packets removed by loss, congestion, or detached nodes", ls, st.Lost.Load)
+	r.CounterFunc("portals_fabric_duplicated_total", "packets duplicated by fault injection", ls, st.Duplicated.Load)
+	r.CounterFunc("portals_fabric_reordered_total", "packets swapped past a successor", ls, st.Reordered.Load)
+	r.CounterFunc("portals_fabric_tail_drops_total", "packets dropped by full queues", ls, st.TailDrops.Load)
+}
+
+// recordLoss stamps a flight-recorder instant for a dropped packet. The
+// fabric is protocol-agnostic and cannot see reliability-layer sequence
+// numbers, so loss instants are keyed (src, pid 0, per-fabric drop counter)
+// with the packet length as the argument.
+func (n *Network) recordLoss(src types.NID, size int) {
+	if trace.Enabled() {
+		trace.Record(trace.StageLoss, uint32(src), 0, n.lossSeq.Add(1), uint64(size))
+	}
+}
 
 // MTU reports the fabric's packet size limit.
 func (n *Network) MTU() int { return n.cfg.MTU }
@@ -201,6 +226,7 @@ func (n *Network) deliver(src, dst types.NID, pkt []byte) {
 	n.mu.Unlock()
 	if ep == nil || ep.closed.Load() {
 		n.stats.Lost.Add(1)
+		n.recordLoss(src, len(pkt))
 		return
 	}
 	n.stats.Delivered.Add(1)

@@ -15,8 +15,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -30,11 +32,31 @@ const maxFrame = 1 << 30
 // genuinely distributed runs, seed the registry with Register and pin
 // the local listen address with SetListenAddr (or use NewStatic).
 type Network struct {
+	stats Stats
+
 	mu     sync.Mutex
 	addrs  map[types.NID]string
 	listen map[types.NID]string
 	eps    map[types.NID]*endpoint
 	closed bool
+}
+
+// Stats counts fabric-level events; all fields are atomics.
+type Stats struct {
+	Sent      atomic.Int64 // frames written to a socket
+	Delivered atomic.Int64 // frames handed to a handler
+	Redials   atomic.Int64 // cached connections dropped after a write error
+}
+
+// Stats exposes the fabric counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// RegisterMetrics exposes the fabric counters as CounterFunc views.
+func (n *Network) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	st := &n.stats
+	r.CounterFunc("portals_fabric_sent_total", "frames written to TCP sockets", ls, st.Sent.Load)
+	r.CounterFunc("portals_fabric_delivered_total", "frames handed to a destination handler", ls, st.Delivered.Load)
+	r.CounterFunc("portals_fabric_redials_total", "cached connections dropped after write errors", ls, st.Redials.Load)
 }
 
 // New creates a fabric whose nodes listen on ephemeral localhost ports.
@@ -211,6 +233,7 @@ func (ep *endpoint) readLoop(c net.Conn) {
 		if ep.isClosed() {
 			return
 		}
+		ep.net.stats.Delivered.Add(1)
 		ep.handler(src, msg)
 	}
 }
@@ -244,6 +267,7 @@ func (ep *endpoint) Send(dst types.NID, msg []byte) error {
 		ep.dropConn(dst, sc)
 		return fmt.Errorf("tcp: send to %d: %w", dst, err)
 	}
+	ep.net.stats.Sent.Add(1)
 	return nil
 }
 
@@ -299,6 +323,7 @@ func (ep *endpoint) connTo(dst types.NID) (*sendConn, error) {
 }
 
 func (ep *endpoint) dropConn(dst types.NID, sc *sendConn) {
+	ep.net.stats.Redials.Add(1)
 	sc.conn.Close()
 	ep.mu.Lock()
 	if ep.conns[dst] == sc {

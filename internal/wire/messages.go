@@ -58,6 +58,7 @@ func AckFor(put *Header, mlength uint64) Header {
 		MD:        put.MD, // echoed: routes the ack to the initiator's MD/EQ
 		RLength:   put.RLength,
 		MLength:   mlength,
+		Seq:       put.Seq, // echoed: keys the round trip's trace span
 	}
 }
 
@@ -72,5 +73,6 @@ func ReplyFor(get *Header, mlength uint64) Header {
 		MD:        get.MD, // routes the reply into the initiator's MD
 		RLength:   get.RLength,
 		MLength:   mlength,
+		Seq:       get.Seq, // echoed: keys the round trip's trace span
 	}
 }

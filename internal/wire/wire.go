@@ -91,6 +91,14 @@ type Header struct {
 	MD        types.Handle
 	RLength   uint64 // requested length ("length" rows of Tables 1 and 3)
 	MLength   uint64 // manipulated length (Tables 2 and 4)
+	// Seq is a per-initiator message sequence number assigned at StartPut /
+	// StartGet and echoed by acks and replies. It is not part of the paper's
+	// Tables 1–4 — the protocol never interprets it — but it keys each
+	// message's span in the internal/obs/trace flight recorder, which needs
+	// an identity that survives the trip to the target and back. It lives in
+	// the four header bytes that were previously zero padding, so HeaderSize
+	// and the wire format version are unchanged.
+	Seq uint32
 }
 
 // AckRequested reports whether a put request asked for an acknowledgment.
@@ -135,7 +143,7 @@ func (h *Header) Encode(buf []byte) int {
 	binary.BigEndian.PutUint32(buf[56:], h.MD.Gen)
 	binary.BigEndian.PutUint64(buf[60:], h.RLength)
 	binary.BigEndian.PutUint64(buf[68:], h.MLength)
-	buf[76], buf[77], buf[78], buf[79] = 0, 0, 0, 0
+	binary.BigEndian.PutUint32(buf[76:], h.Seq)
 	return HeaderSize
 }
 
@@ -177,6 +185,7 @@ func (h *Header) Decode(buf []byte) error {
 	}
 	h.RLength = binary.BigEndian.Uint64(buf[60:])
 	h.MLength = binary.BigEndian.Uint64(buf[68:])
+	h.Seq = binary.BigEndian.Uint32(buf[76:])
 	return nil
 }
 

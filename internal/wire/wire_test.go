@@ -20,6 +20,7 @@ func sampleHeader() Header {
 		Offset:    4096,
 		MD:        types.Handle{Kind: types.KindMD, Index: 7, Gen: 9},
 		RLength:   50 * 1024,
+		Seq:       0xC0FFEE,
 	}
 }
 
@@ -40,7 +41,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 
 func TestHeaderRoundTripProperty(t *testing.T) {
 	f := func(op uint8, flags uint8, inid, ipid, tnid, tpid, ptl, cookie uint32,
-		bits, offset uint64, mdIdx, mdGen uint32, rlen, mlen uint64) bool {
+		bits, offset uint64, mdIdx, mdGen uint32, rlen, mlen uint64, seq uint32) bool {
 		h := Header{
 			Op:        Op(op%4) + OpPut,
 			Flags:     flags,
@@ -53,6 +54,7 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 			MD:        types.Handle{Kind: types.KindMD, Index: mdIdx, Gen: mdGen},
 			RLength:   rlen,
 			MLength:   mlen,
+			Seq:       seq,
 		}
 		buf := make([]byte, HeaderSize)
 		h.Encode(buf)
@@ -183,6 +185,10 @@ func TestAckForSwapsAndEchoes(t *testing.T) {
 	if ack.RLength != put.RLength || ack.MLength != 600 {
 		t.Errorf("ack lengths = %d/%d, want %d/600", ack.RLength, ack.MLength, put.RLength)
 	}
+	put.Seq = 41
+	if ack2 := AckFor(&put, 600); ack2.Seq != 41 {
+		t.Errorf("ack seq = %d, want 41 (echoed for trace span keying)", ack2.Seq)
+	}
 }
 
 // Table 4 semantics: reply echoes the get with roles swapped, adds the
@@ -202,6 +208,10 @@ func TestReplyForSwapsAndEchoes(t *testing.T) {
 	}
 	if reply.MLength != 2048 {
 		t.Errorf("reply mlength = %d", reply.MLength)
+	}
+	get.Seq = 17
+	if reply2 := ReplyFor(&get, 2048); reply2.Seq != 17 {
+		t.Errorf("reply seq = %d, want 17 (echoed for trace span keying)", reply2.Seq)
 	}
 }
 

@@ -2,12 +2,15 @@ package portals
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/acl"
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/nicsim"
+	"repro/internal/obs/metrics"
 	"repro/internal/rtscts"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -200,6 +203,37 @@ func (m *Machine) Close() error {
 		n.Close()
 	}
 	return m.net.Close()
+}
+
+// RegisterMetrics exposes every layer of this machine through one obs
+// registry: the fabric's packet counters, each node's delivery-engine
+// counters (which delegate to the node's reliability endpoint when the
+// fabric has one), each process's Portals interface counters, and the
+// event-queue totals. Everything registered is a view over counters the
+// layers already maintain — registration changes nothing on any hot path.
+// Calling it again after adding nodes or interfaces replaces the earlier
+// series in place, so it is safe to re-register per experiment iteration.
+func (m *Machine) RegisterMetrics(r *metrics.Registry) {
+	fabric := metrics.L("fabric", m.fabric.name)
+	if reg, ok := m.net.(metrics.Registerer); ok {
+		reg.RegisterMetrics(r, fabric)
+	}
+	eventq.RegisterMetrics(r, nil)
+	m.mu.Lock()
+	nodes := make(map[NID]*nicsim.Node, len(m.nodes))
+	for nid, n := range m.nodes {
+		nodes[nid] = n
+	}
+	nis := append([]*NI(nil), m.nis...)
+	m.mu.Unlock()
+	for nid, n := range nodes {
+		n.RegisterMetrics(r, metrics.L("node", strconv.Itoa(int(nid))))
+	}
+	for _, ni := range nis {
+		ni.state.Counters().RegisterMetrics(r, metrics.L(
+			"node", strconv.Itoa(int(ni.self.NID)),
+			"pid", strconv.Itoa(int(ni.self.PID))))
+	}
 }
 
 // nodeDrops reports node-level drop counts (bad-target) for tests.
