@@ -1,20 +1,27 @@
-// Command portalsvet runs the repo's custom static-analysis suite: five
+// Command portalsvet runs the repo's custom static-analysis suite: the
 // named checks enforcing the Portals concurrency invariants (application
-// bypass, lock discipline, atomics-only counters, checked errors, and
-// goroutine lifecycle). See docs/LINT.md and internal/lint.
+// bypass, lock discipline, lock ordering, static zero-alloc proofs,
+// atomics-only counters, checked errors, and goroutine lifecycle). See
+// docs/LINT.md and internal/lint.
 //
 // Usage:
 //
-//	go run ./cmd/portalsvet [-checks a,b] [-list] [packages]
+//	go run ./cmd/portalsvet [flags] [packages]
 //
 // Packages default to ./... . Diagnostics print as
 // "file:line: [check] message"; the exit code is 1 when there are
-// findings, 2 when the module fails to load or type-check, 0 otherwise.
-// Suppress an individual finding with
+// (new) findings, 2 when the module fails to load or type-check, 0
+// otherwise. Suppress an individual finding with
 //
 //	//lint:ignore <check> <reason>
 //
 // on the offending line or the one above it.
+//
+// CI integration:
+//
+//	-json                 emit findings as JSON (stdout, or -o file)
+//	-baseline file        accepted findings; exit 1 only on NEW findings
+//	-write-baseline file  record the current findings as the baseline
 package main
 
 import (
@@ -30,8 +37,12 @@ import (
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON")
+	outFlag := flag.String("o", "", "with -json: write JSON findings to this file instead of stdout")
+	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings; fail only on new ones")
+	writeBaselineFlag := flag.String("write-baseline", "", "record the current findings as the baseline and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [-json [-o file]] [-baseline file | -write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,17 +84,62 @@ func main() {
 	}
 
 	diags := prog.Run(checks)
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
+	findings := prog.Findings(diags)
+
+	if *writeBaselineFlag != "" {
+		if err := lint.WriteBaseline(*writeBaselineFlag, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+			os.Exit(2)
 		}
-		fmt.Println(d)
+		fmt.Fprintf(os.Stderr, "portalsvet: wrote %d finding(s) to %s\n", len(findings), *writeBaselineFlag)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "portalsvet: %d finding(s)\n", len(diags))
+
+	// With a baseline, only findings not in it fail the run; without one,
+	// every finding is "new".
+	failing := len(findings)
+	if *baselineFlag != "" {
+		n, err := lint.ApplyBaseline(*baselineFlag, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+			os.Exit(2)
+		}
+		failing = n
+	}
+
+	if *jsonFlag {
+		if *outFlag != "" {
+			if err := lint.WriteJSON(*outFlag, findings); err != nil {
+				fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			data, err := lint.MarshalFindings(findings)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+				os.Exit(2)
+			}
+			os.Stdout.Write(data)
+		}
+	}
+	if !*jsonFlag || *outFlag != "" {
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					d.Pos.Filename = rel
+				}
+			}
+			fmt.Println(d)
+		}
+	}
+	if failing > 0 {
+		if *baselineFlag != "" {
+			fmt.Fprintf(os.Stderr, "portalsvet: %d new finding(s) (%d total, baseline %s)\n",
+				failing, len(findings), *baselineFlag)
+		} else {
+			fmt.Fprintf(os.Stderr, "portalsvet: %d finding(s)\n", failing)
+		}
 		os.Exit(1)
 	}
 }

@@ -55,6 +55,8 @@ func (b *Buf) Reused() bool { return !b.fresh }
 // Release returns the buffer to its size class. Releasing an oversized
 // (unpooled) buffer is a no-op. The caller must not touch Bytes afterwards;
 // the next Get may hand the same memory to another goroutine.
+//
+//lint:noalloc the release path returns memory; it must not create any
 func (b *Buf) Release() {
 	if b == nil || b.class < 0 {
 		return
@@ -75,12 +77,16 @@ func classFor(n int) int {
 
 // Get returns a buffer of length n, reusing pooled memory when a buffer of
 // n's size class is available.
+//
+//lint:noalloc steady state is pool hits; the misses below are the warmup
 func Get(n int) *Buf {
 	gets.Add(1)
 	if n > maxPooled {
+		//lint:ignore noalloc jumbo buffers are deliberately unpooled; callers sized for the fast path never hit this
 		return &Buf{b: make([]byte, n), class: -1, fresh: true}
 	}
 	c := classFor(n)
+	//lint:ignore noalloc the pools have no New hook; Pool.Get here only reuses (a nil return is the miss below)
 	if v := classes[c].Get(); v != nil {
 		b := v.(*Buf)
 		b.b = b.b[:n]
@@ -88,6 +94,7 @@ func Get(n int) *Buf {
 		hits.Add(1)
 		return b
 	}
+	//lint:ignore noalloc pool miss: the one-time warmup allocation the steady state amortizes away
 	return &Buf{b: make([]byte, n, 1<<(minClassBits+c)), class: int8(c), fresh: true}
 }
 

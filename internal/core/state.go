@@ -32,6 +32,19 @@ import (
 	"repro/internal/types"
 )
 
+// The delivery engine's lock hierarchy (docs/PERF.md §2), machine-checked
+// by portalsvet's lockorder check: every lock-acquisition edge in the
+// module must follow a declared path, and no path may hold two locks of
+// the same class (in particular, never two portal locks). memDesc.owner
+// aliases either a portal's mu or bindMu, so it sits at the same level.
+//
+//lint:lockrank portal.mu < State.resMu
+//lint:lockrank State.bindMu < State.resMu
+//lint:lockrank memDesc.owner < State.resMu
+//lint:lockrank portal.mu < Queue.mu
+//lint:lockrank memDesc.owner < Queue.mu
+//lint:lockrank portal.mu < List.mu
+
 // State holds everything Figure 3 depicts for one process: the portal
 // table, match entries, memory descriptors, event queues, and the ACL,
 // plus the interface counters.
@@ -187,6 +200,7 @@ func (t *slotTable[T]) release(h types.Handle) bool {
 	sl.val = zero
 	sl.live = false
 	sl.gen++
+	//lint:ignore noalloc free-list push on handle release (teardown); the free list amortizes to table capacity
 	t.free = append(t.free, h.Index)
 	t.count--
 	return true

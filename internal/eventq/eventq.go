@@ -80,8 +80,8 @@ type Queue struct {
 	consumed atomic.Uint64 // next position to read; stored only under mu
 	closed   atomic.Bool
 
-	mu      sync.Mutex // consumer, overwrite, and Close paths
-	overrun bool       // under mu: a Post overwrote unconsumed events since the last Get
+	mu      sync.Mutex    // consumer, overwrite, and Close paths
+	overrun bool          // under mu: a Post overwrote unconsumed events since the last Get
 	notify  chan struct{} // one-token wakeup; consumers retry Get on wake
 	done    chan struct{} // closed by Close
 }
@@ -105,6 +105,8 @@ func (q *Queue) Cap() int { return len(q.ring) }
 // Post appends an event. It never blocks on the application and never
 // fails; if the queue is full the oldest unconsumed event is overwritten
 // (circular semantics). Post on a closed queue is a no-op.
+//
+//lint:noalloc the delivery engine posts events on every message
 func (q *Queue) Post(ev Event) {
 	if q.closed.Load() {
 		return
@@ -184,6 +186,8 @@ func (q *Queue) postFull(ev Event) {
 // pair, two racing PostIfSpace calls for the last slot cannot both succeed.
 // On a closed queue it returns true and discards the event, matching
 // Post's no-op semantics.
+//
+//lint:noalloc ack/reply event posting rides the delivery path
 func (q *Queue) PostIfSpace(ev Event) bool {
 	r, ok := q.ReserveIfSpace()
 	if !ok {
@@ -208,6 +212,8 @@ type Reservation struct {
 // Published promptly: consumers and overwriting producers wait for it.
 // On a closed queue it returns an inert reservation and ok=true, matching
 // Post's closed no-op semantics.
+//
+//lint:noalloc slot reservation is a CAS loop on the delivery path
 func (q *Queue) ReserveIfSpace() (r Reservation, ok bool) {
 	if q.closed.Load() {
 		return Reservation{}, true
@@ -226,6 +232,8 @@ func (q *Queue) ReserveIfSpace() (r Reservation, ok bool) {
 }
 
 // Publish completes a reservation, making the event visible to consumers.
+//
+//lint:noalloc completes ReserveIfSpace on the delivery path
 func (r Reservation) Publish(ev Event) {
 	if !r.active {
 		return

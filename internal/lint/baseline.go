@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is the machine-readable form of a Diagnostic (-json output).
+// File is module-root-relative so findings and baselines are stable
+// across checkouts.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// New is set when a baseline is in use and the finding is not in it.
+	New bool `json:"new,omitempty"`
+}
+
+// baselineEntry identifies a finding independent of its line number, so
+// unrelated edits above a known finding do not churn the baseline.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+type baselineFile struct {
+	// Comment documents the file for humans reading the checked-in JSON.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// Findings converts diagnostics to findings with module-relative paths.
+func (p *Program) Findings(diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if p.ModuleRoot != "" {
+			if rel, err := filepath.Rel(p.ModuleRoot, file); err == nil && !filepath.IsAbs(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, Finding{File: file, Line: d.Pos.Line, Check: d.Check, Message: d.Message})
+	}
+	return out
+}
+
+// WriteJSON writes findings as indented JSON.
+func WriteJSON(path string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MarshalFindings renders findings for stdout.
+func MarshalFindings(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteBaseline records the given findings as the accepted baseline.
+func WriteBaseline(path string, findings []Finding) error {
+	entries := make([]baselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, baselineEntry{File: f.File, Check: f.Check, Message: f.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	bf := baselineFile{
+		Comment:  "portalsvet accepted findings; regenerate with `make lint-baseline` (see docs/LINT.md)",
+		Findings: entries,
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline marks each finding not covered by the baseline as new and
+// returns the number of new findings. Matching is by (file, check,
+// message), count-aware: two identical findings with one baseline entry
+// leave one marked new. A missing baseline file is treated as empty.
+func ApplyBaseline(path string, findings []Finding) (int, error) {
+	counts := make(map[baselineEntry]int)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// No baseline yet: everything is new.
+	case err != nil:
+		return 0, err
+	default:
+		var bf baselineFile
+		if jerr := json.Unmarshal(data, &bf); jerr != nil {
+			return 0, fmt.Errorf("parsing baseline %s: %w", path, jerr)
+		}
+		for _, e := range bf.Findings {
+			counts[e]++
+		}
+	}
+	newCount := 0
+	for i := range findings {
+		key := baselineEntry{File: findings[i].File, Check: findings[i].Check, Message: findings[i].Message}
+		if counts[key] > 0 {
+			counts[key]--
+			continue
+		}
+		findings[i].New = true
+		newCount++
+	}
+	return newCount, nil
+}

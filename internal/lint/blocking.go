@@ -1,13 +1,14 @@
 package lint
 
 import (
-	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
 )
 
 // blockOp is one potentially blocking operation found in a function body.
+// Collection happens in the facts scanner (summary.go); this file owns
+// the classification of which calls count as blocking.
 type blockOp struct {
 	pos  token.Pos
 	desc string // human-readable, e.g. "channel receive", "sync.Cond.Wait"
@@ -15,127 +16,6 @@ type blockOp struct {
 	// that is legitimate while holding a mutex (its own): lockdiscipline
 	// exempts it when it appears directly in the locked function.
 	condWait bool
-}
-
-// blockSummary is what one function contributes to the blocking analysis:
-// the operations it performs directly and the module functions it calls on
-// the same goroutine (go statements excluded — spawned work does not block
-// the caller).
-type blockSummary struct {
-	ops   []blockOp
-	calls []calledFunc
-	// blocks caches the transitive may-block answer; rep is a
-	// representative reachable operation for diagnostics.
-	resolved bool
-	blocks   bool
-	rep      *blockOp
-	repVia   *types.Func // callee through which rep is reached, nil if direct
-}
-
-type calledFunc struct {
-	fn  *types.Func
-	pos token.Pos
-}
-
-// summary computes (memoized) the block summary of a module function.
-func (p *Program) summary(fn *types.Func) *blockSummary {
-	if p.summarys == nil {
-		p.summarys = make(map[*types.Func]*blockSummary)
-	}
-	if s, ok := p.summarys[fn]; ok {
-		return s
-	}
-	s := &blockSummary{}
-	p.summarys[fn] = s // placed before the scan so recursion terminates
-	src, ok := p.funcSources()[fn]
-	if !ok {
-		return s
-	}
-	s.ops, s.calls = scanBlocking(src.pkg, src.decl.Body)
-	return s
-}
-
-// mayBlock reports whether fn can block, transitively through module
-// functions. It returns a representative operation and the direct callee
-// it is reached through (nil when fn blocks directly).
-func (p *Program) mayBlock(fn *types.Func) (bool, *blockOp, *types.Func) {
-	s := p.summary(fn)
-	if s.resolved {
-		return s.blocks, s.rep, s.repVia
-	}
-	s.resolved = true // provisional: cycles resolve to "does not block"
-	if len(s.ops) > 0 {
-		s.blocks, s.rep = true, &s.ops[0]
-		return true, s.rep, nil
-	}
-	for _, c := range s.calls {
-		if blocks, rep, _ := p.mayBlock(c.fn); blocks {
-			s.blocks, s.rep, s.repVia = true, rep, c.fn
-			return true, rep, c.fn
-		}
-	}
-	return false, nil, nil
-}
-
-// scanBlocking walks one function body collecting blocking operations and
-// same-goroutine static calls. Nested function literals are skipped (their
-// bodies run on other call paths and are analyzed separately); go
-// statements are skipped entirely.
-func scanBlocking(pkg *Package, body *ast.BlockStmt) (ops []blockOp, calls []calledFunc) {
-	if body == nil {
-		return nil, nil
-	}
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit, *ast.GoStmt:
-			return false
-		case *ast.SelectStmt:
-			blocking := true
-			for _, c := range n.Body.List {
-				cc := c.(*ast.CommClause)
-				if cc.Comm == nil {
-					blocking = false
-				}
-			}
-			if blocking {
-				ops = append(ops, blockOp{pos: n.Pos(), desc: "select without default"})
-			}
-			// The comm statements themselves are attempt-only; walk just
-			// the clause bodies.
-			for _, c := range n.Body.List {
-				for _, s := range c.(*ast.CommClause).Body {
-					ast.Inspect(s, walk)
-				}
-			}
-			return false
-		case *ast.SendStmt:
-			ops = append(ops, blockOp{pos: n.Pos(), desc: "channel send"})
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				ops = append(ops, blockOp{pos: n.Pos(), desc: "channel receive"})
-			}
-		case *ast.RangeStmt:
-			if t, ok := pkg.Info.Types[n.X]; ok {
-				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
-					ops = append(ops, blockOp{pos: n.Pos(), desc: "range over channel"})
-				}
-			}
-		case *ast.CallExpr:
-			fn := calleeOf(pkg.Info, n)
-			if fn == nil {
-				return true
-			}
-			if op, ok := classifyBlockingCall(fn); ok {
-				ops = append(ops, blockOp{pos: n.Pos(), desc: op.desc, condWait: op.condWait})
-			} else if fn.Pkg() != nil {
-				calls = append(calls, calledFunc{fn: fn, pos: n.Pos()})
-			}
-		}
-		return true
-	}
-	ast.Inspect(body, walk)
-	return ops, calls
 }
 
 // netBlockingMethods are net-package methods that perform real I/O;

@@ -18,6 +18,13 @@ var deliveryPackages = []string{"internal/nicsim", "internal/rtscts"}
 // is the analogue of the NIC control program: if it blocks on application
 // state, progress becomes application-driven, which is the GM/VIA failure
 // mode the paper argues against.
+//
+// The walk is fully interprocedural (facts engine, summary.go): static
+// calls are followed to any depth with the shortest call chain reported,
+// and calls through an interface are resolved against the module's method
+// sets — when any implementation may block, the finding lands on the call
+// site (the frontier where dynamic dispatch was chosen), naming the
+// implementation and its blocking operation.
 type bypassCheck struct{}
 
 func (bypassCheck) Name() string { return "bypassviolation" }
@@ -26,6 +33,8 @@ func (bypassCheck) Doc() string {
 }
 
 func (bypassCheck) Run(p *Program) []Diagnostic {
+	e := p.engine()
+
 	// Collect entry points from the analyzed packages.
 	type entry struct {
 		fn   *types.Func
@@ -52,46 +61,75 @@ func (bypassCheck) Run(p *Program) []Diagnostic {
 	// chain that reaches it. Each position is reported once.
 	var diags []Diagnostic
 	reported := make(map[string]bool) // file:line dedup across entries
-	for _, e := range entries {
+	for _, en := range entries {
 		type node struct {
 			fn    *types.Func
 			chain []string
 		}
-		visited := map[*types.Func]bool{e.fn: true}
-		queue := []node{{fn: e.fn, chain: []string{e.name}}}
+		visited := map[*types.Func]bool{en.fn: true}
+		queue := []node{{fn: en.fn, chain: []string{en.name}}}
 		for len(queue) > 0 {
 			n := queue[0]
 			queue = queue[1:]
-			s := p.summary(n.fn)
-			for i := range s.ops {
-				op := &s.ops[i]
+			f := e.facts[n.fn]
+			if f == nil || !f.mayBlock {
+				continue
+			}
+			via := ""
+			if len(n.chain) > 1 {
+				via = " (reached via " + strings.Join(n.chain, " -> ") + ")"
+			} else {
+				via = " (in delivery handler " + en.name + ")"
+			}
+			for i := range f.ops {
+				op := &f.ops[i]
 				pos := p.Fset.Position(op.pos)
 				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
 				if reported[key] {
 					continue
 				}
 				reported[key] = true
-				msg := op.desc + " on the delivery path"
-				if len(n.chain) > 1 {
-					msg += " (reached via " + strings.Join(n.chain, " -> ") + ")"
-				} else {
-					msg += " (in delivery handler " + e.name + ")"
-				}
-				diags = append(diags, Diagnostic{Pos: pos, Check: "bypassviolation", Message: msg})
+				diags = append(diags, Diagnostic{
+					Pos:     pos,
+					Check:   "bypassviolation",
+					Message: op.desc + " on the delivery path" + via,
+				})
 			}
-			for _, c := range s.calls {
-				if visited[c.fn] {
-					continue
+			for i := range f.calls {
+				c := &f.calls[i]
+				switch c.kind {
+				case edgeStatic:
+					tf := e.facts[c.to]
+					if tf == nil || !tf.mayBlock || visited[c.to] {
+						continue
+					}
+					visited[c.to] = true
+					chain := append(append([]string(nil), n.chain...), funcLabel(c.to))
+					queue = append(queue, node{fn: c.to, chain: chain})
+				case edgeDynamic:
+					// Report blocking implementations at the dispatch site:
+					// that is where the delivery path chose dynamic dispatch,
+					// and where an exception is legitimately documented.
+					for _, impl := range e.implsOf(c.to) {
+						tf := e.facts[impl]
+						if tf == nil || !tf.mayBlock {
+							continue
+						}
+						pos := p.Fset.Position(c.pos)
+						key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+						if reported[key] {
+							break
+						}
+						reported[key] = true
+						diags = append(diags, Diagnostic{
+							Pos:   pos,
+							Check: "bypassviolation",
+							Message: "dynamic call " + funcLabel(c.to) + " on the delivery path may block: implementation " +
+								funcLabel(impl) + " (" + e.repBlock(impl) + ")" + via,
+						})
+						break
+					}
 				}
-				// Only descend into functions we have bodies for (module
-				// code); interface calls are dynamic and already excluded
-				// by the summary.
-				if _, ok := p.funcSources()[c.fn]; !ok {
-					continue
-				}
-				visited[c.fn] = true
-				chain := append(append([]string(nil), n.chain...), funcLabel(c.fn))
-				queue = append(queue, node{fn: c.fn, chain: chain})
 			}
 		}
 	}

@@ -15,6 +15,23 @@
 //     internal/core initiators are never silently discarded.
 //   - goroutinelifecycle: every goroutine launched in non-test code has a
 //     reachable shutdown path.
+//   - lockorder: every lock-acquisition edge (lock B taken while lock A is
+//     held, through any call depth) is declared by a
+//     `//lint:lockrank A < B` directive; reversed, undeclared, or
+//     same-rank edges are reported (docs/PERF.md §2 is the source
+//     hierarchy).
+//   - noalloc: functions annotated `//lint:noalloc` are transitively
+//     allocation-free, with a call-path diagnostic for every reachable
+//     allocation (the static form of alloc_test.go's 0 allocs/op
+//     assertions).
+//
+// The bypassviolation, lockdiscipline, lockorder, and noalloc checks are
+// interprocedural: a facts engine (summary.go, callgraph.go) builds a
+// conservative call graph over every loaded package — static calls,
+// interface calls resolved through module method sets, go/defer edges —
+// and computes per-function may-block / may-allocate / locks-acquired
+// summaries by fixpoint propagation through strongly connected
+// components.
 //
 // The implementation uses only the Go standard library (go/ast, go/parser,
 // go/token, go/types); the module has zero external dependencies and must
@@ -34,6 +51,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -60,6 +78,8 @@ func AllChecks() []Check {
 	return []Check{
 		bypassCheck{},
 		lockCheck{},
+		lockOrderCheck{},
+		noallocCheck{},
 		atomicsCheck{},
 		checkedErrCheck{},
 		goroutineCheck{},
@@ -79,13 +99,16 @@ type Package struct {
 type Program struct {
 	Fset       *token.FileSet
 	ModulePath string
+	// ModuleRoot is the filesystem root of the module ("" for in-memory
+	// fixture programs); findings are reported relative to it.
+	ModuleRoot string
 	// Packages are the packages diagnostics are reported for.
 	Packages []*Package
 	// All maps import path to every loaded local package, Packages included.
 	All map[string]*Package
 
-	funcs    map[*types.Func]*funcSource
-	summarys map[*types.Func]*blockSummary
+	funcs map[*types.Func]*funcSource
+	eng   *engine
 }
 
 // funcSource is the body of a module function, for call-graph traversal.
@@ -148,26 +171,60 @@ func (s suppressionSet) covers(d Diagnostic) bool {
 
 const ignorePrefix = "//lint:ignore"
 
-// suppressions scans every analyzed file for //lint:ignore directives.
+// directiveArgs reports whether a comment is the named //lint: directive
+// and returns its argument text. The directive name must be a complete
+// token: "//lint:ignore foo" matches, "//lint:ignoreXyz" does not.
+func directiveArgs(text, directive string) (string, bool) {
+	if !strings.HasPrefix(text, directive) {
+		return "", false
+	}
+	rest := text[len(directive):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// suppressions scans every loaded file for //lint:ignore directives. The
+// suppression set covers all packages (a finding reached from an analyzed
+// root may sit in a dependency package); malformed directives are only
+// reported for the packages under analysis.
 func (p *Program) suppressions() (suppressionSet, []Diagnostic) {
+	analyzed := make(map[*Package]bool, len(p.Packages))
+	for _, pkg := range p.Packages {
+		analyzed[pkg] = true
+	}
 	set := make(suppressionSet)
 	var bad []Diagnostic
-	for _, pkg := range p.Packages {
+	for _, pkg := range p.All {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, ignorePrefix) {
+					rest, ok := directiveArgs(c.Text, ignorePrefix)
+					if !ok {
 						continue
 					}
-					rest := strings.TrimPrefix(c.Text, ignorePrefix)
 					pos := p.Fset.Position(c.Pos())
+					report := func(msg string) {
+						if analyzed[pkg] {
+							bad = append(bad, Diagnostic{Pos: pos, Check: "badsuppress", Message: msg})
+						}
+					}
 					fields := strings.Fields(rest)
 					if len(fields) < 2 {
-						bad = append(bad, Diagnostic{
-							Pos:     pos,
-							Check:   "badsuppress",
-							Message: "malformed //lint:ignore directive: want \"//lint:ignore check reason\"",
-						})
+						report("malformed //lint:ignore directive: want \"//lint:ignore check reason\"")
+						continue
+					}
+					names := strings.Split(fields[0], ",")
+					valid := true
+					for _, name := range names {
+						if name == "" {
+							report("malformed //lint:ignore directive: empty check name in " + strconv.Quote(fields[0]))
+							valid = false
+							break
+						}
+					}
+					if !valid {
 						continue
 					}
 					m := set[pos.Filename]
@@ -175,9 +232,7 @@ func (p *Program) suppressions() (suppressionSet, []Diagnostic) {
 						m = make(map[int][]string)
 						set[pos.Filename] = m
 					}
-					for _, name := range strings.Split(fields[0], ",") {
-						m[pos.Line] = append(m[pos.Line], name)
-					}
+					m[pos.Line] = append(m[pos.Line], names...)
 				}
 			}
 		}
@@ -215,16 +270,34 @@ func (p *Program) isLocal(path string) bool {
 
 // calleeOf resolves a call expression to its static callee, or nil for
 // dynamic calls (function values, interface methods) and conversions.
+// Instantiated generic functions/methods are normalized to their generic
+// origin so they resolve against funcSources.
 func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun].(*types.Func)
 	case *ast.SelectorExpr:
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
 	}
-	return nil
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type
+// (a dynamically dispatched call with no body of its own).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
 }
 
 // pkgPathOf returns the import path of a function's package ("" for

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -557,5 +558,402 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range prog.Run(nil) {
 		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/lo": {"lo.go": `package lo
+
+import "sync"
+
+//lint:lockrank A.mu < B.mu
+//lint:lockrank B.mu < C.mu
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func declared(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// transitive: A < B < C is declared, so C under A needs no direct edge.
+func transitive(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func reversed(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want:lockorder
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func undeclared(a *A, d *D) {
+	a.mu.Lock()
+	d.mu.Lock() // want:lockorder
+	d.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// sameRank: two locks of one class may never be held together.
+func sameRank(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock() // want:lockorder
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// interprocedural: the callee's may-acquire summary creates the edge.
+func interprocedural(d *D, b *B) {
+	d.mu.Lock()
+	lockB(b) // want:lockorder
+	d.mu.Unlock()
+}
+
+func suppressedEdge(a *A, d *D) {
+	a.mu.Lock()
+	//lint:ignore lockorder fixture: intentional undeclared edge
+	d.mu.Lock()
+	d.mu.Unlock()
+	a.mu.Unlock()
+}
+`},
+	}, []Check{lockOrderCheck{}})
+}
+
+// TestLockOrderReversedHierarchy pins the acceptance demo: with the
+// docs/PERF.md §2 declarations in effect, taking a portal lock while
+// holding resMu is reported as a reversal, naming the declared order.
+func TestLockOrderReversedHierarchy(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/core": {"core.go": `package core
+
+import "sync"
+
+//lint:lockrank portal.mu < State.resMu
+
+type portal struct{ mu sync.Mutex }
+
+type State struct{ resMu sync.Mutex }
+
+func bad(p *portal, s *State) {
+	s.resMu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	s.resMu.Unlock()
+}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{lockOrderCheck{}})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one lockorder finding, got %v", diags)
+	}
+	msg := diags[0].Message
+	for _, frag := range []string{"lock order reversed", "portal.mu acquired", "while holding State.resMu", "portal.mu < State.resMu"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("finding %q does not mention %q", msg, frag)
+		}
+	}
+}
+
+func TestLockOrderMalformedDirective(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/lm": {"lm.go": `package lm
+
+//lint:lockrank A.mu B.mu
+
+//lint:lockrank A.mu < A.mu
+
+func f() {}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{lockOrderCheck{}})
+	if len(diags) != 2 {
+		t.Fatalf("want two malformed-directive findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Check != "lockorder" || !strings.Contains(d.Message, "malformed //lint:lockrank") {
+			t.Errorf("unexpected finding %v", d)
+		}
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 5 {
+		t.Errorf("findings at lines %d and %d, want 3 and 5", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestLockOrderDeclarationCycle(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/lc": {"lc.go": `package lc
+
+//lint:lockrank aa.mu < bb.mu
+
+//lint:lockrank bb.mu < aa.mu
+
+func f() {}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{lockOrderCheck{}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "form a cycle") {
+		t.Fatalf("want one cycle finding, got %v", diags)
+	}
+}
+
+func TestNoalloc(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/na": {"na.go": `package na
+
+import "fmt"
+
+type Op interface{ Do() }
+
+type allocOp struct{}
+
+func (allocOp) Do() { _ = make([]int, 1) }
+
+//lint:noalloc fixture root
+func Record(x int) { helper(x) }
+
+func helper(x int) {
+	_ = fmt.Sprintf("%d", x) // want:noalloc
+}
+
+//lint:noalloc trust boundary: verified on its own, callers stop here
+func Inner() {
+	//lint:ignore noalloc fixture: intended slow path
+	_ = make([]int, 4)
+}
+
+//lint:noalloc fixture root; calling an annotated function is fine
+func Trusted() { Inner() }
+
+//lint:noalloc fixture root
+func RunOp(o Op) {
+	o.Do() // want:noalloc
+}
+`},
+	}, []Check{noallocCheck{}})
+}
+
+// TestNoallocChainMessage pins the acceptance demo: an fmt.Sprintf two
+// calls below a //lint:noalloc root is reported with the full call path.
+func TestNoallocChainMessage(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/trace": {"trace.go": `package trace
+
+import "fmt"
+
+//lint:noalloc the recorder rides the message path
+func Record(x int) { emit(x) }
+
+func emit(x int) { format(x) }
+
+func format(x int) { _ = fmt.Sprintf("%d", x) }
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{noallocCheck{}})
+	if len(diags) != 1 {
+		t.Fatalf("want one noalloc finding, got %v", diags)
+	}
+	msg := diags[0].Message
+	for _, frag := range []string{"trace.Record -> trace.emit -> trace.format", "fmt.Sprintf"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("finding %q does not mention %q", msg, frag)
+		}
+	}
+}
+
+// TestBypassInterfaceCall covers the case the purely-static check missed:
+// a delivery handler blocking only through an interface method.
+func TestBypassInterfaceCall(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+type Sender interface{ Send(x int) }
+
+type slowSender struct{ ch chan int }
+
+func (s *slowSender) Send(x int) { s.ch <- x }
+
+type Node struct{ s Sender }
+
+func (n *Node) onMessage() {
+	n.s.Send(1) // want:bypassviolation
+}
+`},
+	}, []Check{bypassCheck{}})
+}
+
+// TestBypassDeepChainMessage pins the acceptance demo: a channel send two
+// calls below a delivery entry is reported with the call path.
+func TestBypassDeepChainMessage(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+type Node struct{ ch chan int }
+
+func (n *Node) onDeliver() { n.stage1() }
+
+func (n *Node) stage1() { n.stage2() }
+
+func (n *Node) stage2() { n.ch <- 1 }
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{bypassCheck{}})
+	if len(diags) != 1 {
+		t.Fatalf("want one bypassviolation finding, got %v", diags)
+	}
+	if diags[0].Pos.Line != 9 {
+		t.Errorf("finding at line %d, want 9 (the channel send)", diags[0].Pos.Line)
+	}
+	msg := diags[0].Message
+	for _, frag := range []string{"reached via", "Node.stage1"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("finding %q does not mention %q", msg, frag)
+		}
+	}
+}
+
+// TestSummarySCCPropagation: facts must converge through mutual recursion.
+func TestSummarySCCPropagation(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+type Node struct{ ch chan int }
+
+func (n *Node) onMsg() { n.ping(4) }
+
+func (n *Node) ping(d int) {
+	if d > 0 {
+		n.pong(d - 1)
+	}
+}
+
+func (n *Node) pong(d int) {
+	n.ch <- d // want:bypassviolation
+	n.ping(d)
+}
+`},
+	}, []Check{bypassCheck{}})
+}
+
+// TestMultiCheckSuppression: one //lint:ignore a,b directive quiets two
+// different checks on the same line.
+func TestMultiCheckSuppression(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/internal/nicsim": {"node.go": `package nicsim
+
+import "sync"
+
+type Node struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (n *Node) onEvent() {
+	n.mu.Lock()
+	n.ch <- 1 // want:bypassviolation,lockdiscipline
+	//lint:ignore bypassviolation,lockdiscipline fixture: one directive, two checks
+	n.ch <- 2
+	n.mu.Unlock()
+}
+`},
+	}, []Check{bypassCheck{}, lockCheck{}})
+}
+
+// TestSuppressParserEdgeCases: a trailing comma leaves an empty check name
+// (badsuppress), and //lint:ignore must match as a whole token — a longer
+// word sharing the prefix is not a directive.
+func TestSuppressParserEdgeCases(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/sp": {"sp.go": `package sp
+
+//lint:ignore lockdiscipline, trailing comma leaves an empty check name
+func f() {}
+
+//lint:ignorance is not a directive and must be left alone
+func g() {}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run(nil)
+	if len(diags) != 1 || diags[0].Check != "badsuppress" || diags[0].Pos.Line != 3 {
+		t.Fatalf("want one badsuppress finding at sp.go:3, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "empty check name") {
+		t.Errorf("finding %q does not mention the empty check name", diags[0].Message)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	fresh := func() []Finding {
+		return []Finding{
+			{File: "a.go", Line: 3, Check: "noalloc", Message: "m"},
+			{File: "a.go", Line: 9, Check: "noalloc", Message: "m"},
+			{File: "b.go", Line: 1, Check: "lockorder", Message: "n"},
+		}
+	}
+
+	// Missing baseline: every finding is new.
+	fs := fresh()
+	n, err := ApplyBaseline(path, fs)
+	if err != nil || n != 3 {
+		t.Fatalf("no baseline: got n=%d err=%v, want 3", n, err)
+	}
+
+	// Partial baseline: matching is count-aware, so two identical findings
+	// against one recorded entry leave one marked new.
+	if err := WriteBaseline(path, fresh()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	fs = fresh()
+	n, err = ApplyBaseline(path, fs)
+	if err != nil || n != 2 {
+		t.Fatalf("partial baseline: got n=%d err=%v, want 2", n, err)
+	}
+	if fs[0].New == fs[1].New {
+		t.Errorf("exactly one of the duplicate findings should be new: %+v", fs[:2])
+	}
+
+	// Full baseline: nothing is new, and line numbers do not matter.
+	if err := WriteBaseline(path, fresh()); err != nil {
+		t.Fatal(err)
+	}
+	fs = fresh()
+	fs[2].Line = 77
+	n, err = ApplyBaseline(path, fs)
+	if err != nil || n != 0 {
+		t.Fatalf("full baseline: got n=%d err=%v, want 0", n, err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Load parses and type-checks the module rooted at or above dir.
@@ -32,7 +33,7 @@ func Load(dir string, patterns []string) (*Program, error) {
 	l := &loader{
 		fset:    fset,
 		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil),
+		modRoot: modRoot,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 		files: func(path string) (map[string][]byte, error) {
@@ -69,7 +70,6 @@ func LoadSource(modPath string, pkgs map[string]map[string]string) (*Program, er
 	l := &loader{
 		fset:    fset,
 		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 		files: func(path string) (map[string][]byte, error) {
@@ -93,15 +93,38 @@ func LoadSource(modPath string, pkgs map[string]map[string]string) (*Program, er
 }
 
 // loader resolves imports: module-local packages through the files hook,
-// everything else through the stdlib source importer.
+// everything else through the shared standard-library importer cache.
 type loader struct {
 	fset    *token.FileSet
 	modPath string
-	std     types.Importer
+	modRoot string
 	files   func(importPath string) (map[string][]byte, error)
 	pkgs    map[string]*Package
 	loading map[string]bool
 	errs    []error
+}
+
+// stdImports is a process-wide cache for standard-library packages. The
+// source importer type-checks each stdlib package from source (tens of
+// milliseconds each, hundreds of packages transitively behind fmt/net);
+// before this cache every Load/LoadSource call paid that cost again —
+// the fixture-heavy linter test suite type-checked sync, time, net, …
+// once per test. Sharing one importer (with its own FileSet — stdlib
+// positions are never printed in diagnostics) makes every load after the
+// first nearly free. Guarded by a mutex: the source importer is not
+// concurrency-safe.
+var stdImports struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func stdImport(path string) (*types.Package, error) {
+	stdImports.mu.Lock()
+	defer stdImports.mu.Unlock()
+	if stdImports.imp == nil {
+		stdImports.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImports.imp.Import(path)
 }
 
 func (l *loader) program(roots []string) (*Program, error) {
@@ -129,6 +152,7 @@ func (l *loader) program(roots []string) (*Program, error) {
 	return &Program{
 		Fset:       l.fset,
 		ModulePath: l.modPath,
+		ModuleRoot: l.modRoot,
 		Packages:   selected,
 		All:        l.pkgs,
 	}, nil
@@ -146,7 +170,7 @@ func (l *loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Pkg, nil
 	}
-	return l.std.Import(path)
+	return stdImport(path)
 }
 
 // load parses and type-checks one local package, memoized.

@@ -56,6 +56,7 @@ type heldLock struct {
 	pos      token.Pos // where it was locked
 	reader   bool      // RLock rather than Lock
 	deferred bool      // a defer Unlock covers release (still held for blocking checks)
+	class    string    // lock class (lockClassOf) for lock-order edges
 }
 
 // lockSet maps the printed mutex expression ("s.mu") to its state.
@@ -95,14 +96,21 @@ type loopCtx struct {
 }
 
 // lockFlow is a conservative abstract interpreter over one function body.
+// With orders set it runs in lock-order mode: lockdiscipline diagnostics
+// are muted and every acquisition made while another classified lock is
+// held is recorded as an edge instead (the lockorder check, lockorder.go).
 type lockFlow struct {
-	prog  *Program
-	pkg   *Package
-	diags []Diagnostic
-	loops []*loopCtx
+	prog   *Program
+	pkg    *Package
+	diags  []Diagnostic
+	loops  []*loopCtx
+	orders *orderSink
 }
 
 func (a *lockFlow) report(pos token.Pos, format string, args ...any) {
+	if a.orders != nil {
+		return
+	}
 	a.diags = append(a.diags, Diagnostic{
 		Pos:     a.prog.Fset.Position(pos),
 		Check:   "lockdiscipline",
@@ -187,7 +195,7 @@ func (a *lockFlow) stmt(s ast.Stmt, st lockSet) flowResult {
 	case *ast.DeferStmt:
 		// defer x.Unlock() covers release on every path; the lock stays
 		// held for blocking purposes.
-		if mu, op := a.lockOpOf(s.Call); mu != "" && (op == "Unlock" || op == "RUnlock") {
+		if _, mu, op := lockTarget(a.pkg.Info, s.Call); mu != "" && (op == "Unlock" || op == "RUnlock") {
 			st = st.clone()
 			if l, ok := st[mu]; ok {
 				l.deferred = true
@@ -444,8 +452,8 @@ func (a *lockFlow) call(c *ast.CallExpr, st lockSet, reportBlocking bool) lockSe
 	for _, arg := range c.Args {
 		st = a.scanExpr(arg, st, reportBlocking)
 	}
-	if mu, op := a.lockOpOf(c); mu != "" {
-		return a.applyLockOp(c, mu, op, st)
+	if x, mu, op := lockTarget(a.pkg.Info, c); mu != "" {
+		return a.applyLockOp(c, x, mu, op, st)
 	}
 	fn := calleeOf(a.pkg.Info, c)
 	if fn == nil {
@@ -458,20 +466,51 @@ func (a *lockFlow) call(c *ast.CallExpr, st lockSet, reportBlocking bool) lockSe
 		}
 		return st
 	}
+	if len(st) == 0 {
+		return st
+	}
+	// Lock-order mode: a call made while locks are held acquires, at some
+	// depth, every lock class in the callee's summary — each pair is an
+	// acquisition edge. Static calls only; lock classes do not cross
+	// interface boundaries (see summary.go).
+	if a.orders != nil {
+		e := a.prog.engine()
+		if f := e.facts[fn]; f != nil {
+			a.orderEdges(c.Pos(), funcLabel(fn), f.lockSet, st)
+		}
+		return st
+	}
 	// A call into a module function that may block transitively is as bad
-	// as blocking here.
-	if reportBlocking && len(st) > 0 {
-		if _, local := a.prog.funcSources()[fn]; local {
-			if blocks, rep, via := a.prog.mayBlock(fn); blocks {
-				desc := rep.desc
-				if via != nil {
-					desc += " via " + funcLabel(via)
+	// as blocking here; the facts engine resolves interface calls against
+	// the module's method sets.
+	if reportBlocking {
+		e := a.prog.engine()
+		if isInterfaceMethod(fn) {
+			for _, impl := range e.implsOf(fn) {
+				if tf := e.facts[impl]; tf != nil && tf.mayBlock {
+					a.blockingOp(c.Pos(), "dynamic call "+funcLabel(fn)+" (may block: implementation "+
+						funcLabel(impl)+": "+e.repBlock(impl)+")", st)
+					break
 				}
-				a.blockingOp(c.Pos(), "call to "+funcLabel(fn)+" (may block: "+desc+")", st)
 			}
+		} else if f := e.facts[fn]; f != nil && f.mayBlock {
+			a.blockingOp(c.Pos(), "call to "+funcLabel(fn)+" (may block: "+e.repBlock(fn)+")", st)
 		}
 	}
 	return st
+}
+
+// orderEdges records an acquisition edge held-class -> acquired-class for
+// every combination of held lock and callee-acquired lock class.
+func (a *lockFlow) orderEdges(pos token.Pos, via string, acquired map[string]lockVia, st lockSet) {
+	for _, held := range st {
+		if held.class == "" {
+			continue
+		}
+		for class := range acquired {
+			a.orders.add(lockEdge{from: held.class, to: class, pos: pos, via: via})
+		}
+	}
 }
 
 // blockingOp reports a blocking operation for every lock currently held.
@@ -482,55 +521,37 @@ func (a *lockFlow) blockingOp(pos token.Pos, desc string, st lockSet) {
 	}
 }
 
-// applyLockOp updates the lock state for x.Lock/Unlock/RLock/RUnlock.
-func (a *lockFlow) applyLockOp(c *ast.CallExpr, mu, op string, st lockSet) lockSet {
+// applyLockOp updates the lock state for x.Lock/Unlock/RLock/RUnlock. In
+// lock-order mode an acquisition while other classified locks are held
+// records one edge per held lock.
+func (a *lockFlow) applyLockOp(c *ast.CallExpr, x ast.Expr, mu, op string, st lockSet) lockSet {
 	st = st.clone()
 	switch op {
-	case "Lock":
-		if l, held := st[mu]; held && !l.reader && !l.deferred {
-			a.report(c.Pos(), "%s.Lock() while already held (locked at line %d): deadlock",
-				mu, a.prog.Fset.Position(l.pos).Line)
+	case "Lock", "RLock":
+		class := lockClassOf(a.pkg.Info, x)
+		if a.orders != nil && class != "" {
+			for name, held := range st {
+				if name == mu || held.class == "" {
+					continue // the same-expression case is lockdiscipline's deadlock report
+				}
+				a.orders.add(lockEdge{from: held.class, to: class, pos: c.Pos()})
+			}
 		}
-		covered := st[mu].deferred // a defer Unlock recorded before the Lock
-		st[mu] = heldLock{pos: c.Pos(), deferred: covered}
-	case "RLock":
-		covered := st[mu].deferred
-		st[mu] = heldLock{pos: c.Pos(), reader: true, deferred: covered}
+		if op == "Lock" {
+			if l, held := st[mu]; held && !l.reader && !l.deferred {
+				a.report(c.Pos(), "%s.Lock() while already held (locked at line %d): deadlock",
+					mu, a.prog.Fset.Position(l.pos).Line)
+			}
+			covered := st[mu].deferred // a defer Unlock recorded before the Lock
+			st[mu] = heldLock{pos: c.Pos(), deferred: covered, class: class}
+		} else {
+			covered := st[mu].deferred
+			st[mu] = heldLock{pos: c.Pos(), reader: true, deferred: covered, class: class}
+		}
 	case "Unlock", "RUnlock":
 		delete(st, mu)
 	case "TryLock", "TryRLock":
 		// Result-dependent; too imprecise to track.
 	}
 	return st
-}
-
-// lockOpOf recognizes mutex method calls and returns the printed mutex
-// expression and the operation name.
-func (a *lockFlow) lockOpOf(c *ast.CallExpr) (mu, op string) {
-	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
-	default:
-		return "", ""
-	}
-	tv, ok := a.pkg.Info.Types[sel.X]
-	if !ok {
-		return "", ""
-	}
-	t := tv.Type
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
-		return "", ""
-	}
-	switch named.Obj().Name() {
-	case "Mutex", "RWMutex":
-		return types.ExprString(sel.X), sel.Sel.Name
-	}
-	return "", ""
 }

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// noallocCheck turns the repo's runtime zero-allocation assertions
+// (core/alloc_test.go, trace's AllocsPerRun tests) into static proofs: a
+// function whose doc comment carries
+//
+//	//lint:noalloc [rationale]
+//
+// must be transitively allocation-free on the same goroutine. The facts
+// engine's may-allocate summary covers new/make/append, slice/map
+// literals and map writes, &composite escapes, closures and go
+// statements, string concatenation and string<->[]byte conversions,
+// interface boxing (arguments, assignments, returns, composite fields),
+// and calls to standard-library functions outside a small allowlist of
+// known-allocation-free APIs (atomics, mutex ops, time.Since/Now,
+// math/bits, fixed-width encoding/binary, sync.Pool.Put).
+//
+// Each reachable allocation is reported at its own site with the call
+// path from the annotated root ("Record -> helper: fmt.Sprintf …"). An
+// annotated callee is a trust boundary: it is verified separately, so
+// callers do not descend into it. Calls through an interface are reported
+// at the dispatch site when any module implementation may allocate —
+// that is where a transport-dependent exception is documented. Intended
+// slow paths inside a noalloc root (a pool miss, an amortized append)
+// carry `//lint:ignore noalloc <reason>` like any other finding.
+type noallocCheck struct{}
+
+func (noallocCheck) Name() string { return "noalloc" }
+func (noallocCheck) Doc() string {
+	return "//lint:noalloc-annotated functions are transitively allocation-free"
+}
+
+func (noallocCheck) Run(p *Program) []Diagnostic {
+	e := p.engine()
+
+	// Roots: annotated functions in the analyzed packages.
+	analyzed := make(map[*Package]bool, len(p.Packages))
+	for _, pkg := range p.Packages {
+		analyzed[pkg] = true
+	}
+	type root struct {
+		fn   *types.Func
+		name string
+	}
+	var roots []root
+	for fn, f := range e.facts {
+		if f.noalloc && analyzed[f.pkg] {
+			roots = append(roots, root{fn: fn, name: funcLabel(fn)})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].name < roots[j].name })
+
+	var diags []Diagnostic
+	reported := make(map[string]bool) // file:line dedup across roots
+	report := func(pos token.Pos, msg string) {
+		position := p.Fset.Position(pos)
+		key := position.Filename + ":" + strconv.Itoa(position.Line)
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		diags = append(diags, Diagnostic{Pos: position, Check: "noalloc", Message: msg})
+	}
+
+	for _, r := range roots {
+		type node struct {
+			fn    *types.Func
+			chain []string
+		}
+		visited := map[*types.Func]bool{r.fn: true}
+		queue := []node{{fn: r.fn, chain: []string{r.name}}}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			f := e.facts[n.fn]
+			if f == nil || !f.mayAlloc {
+				continue
+			}
+			path := strings.Join(n.chain, " -> ")
+			for i := range f.allocs {
+				op := &f.allocs[i]
+				report(op.pos, path+": "+op.desc+" on a //lint:noalloc path")
+			}
+			for i := range f.calls {
+				c := &f.calls[i]
+				switch c.kind {
+				case edgeStatic:
+					tf := e.facts[c.to]
+					if tf == nil || tf.noalloc || !tf.mayAlloc || visited[c.to] {
+						continue // annotated callees are verified on their own
+					}
+					visited[c.to] = true
+					chain := append(append([]string(nil), n.chain...), funcLabel(c.to))
+					queue = append(queue, node{fn: c.to, chain: chain})
+				case edgeDynamic:
+					for _, impl := range e.implsOf(c.to) {
+						tf := e.facts[impl]
+						if tf == nil || tf.noalloc || !tf.mayAlloc {
+							continue
+						}
+						report(c.pos, path+": dynamic call "+funcLabel(c.to)+" may allocate (implementation "+
+							funcLabel(impl)+": "+e.repAlloc(impl)+")")
+						break
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// repAlloc describes a representative allocation reachable from fn, for
+// dispatch-site diagnostics.
+func (e *engine) repAlloc(fn *types.Func) string {
+	type node struct {
+		fn  *types.Func
+		via string
+	}
+	seen := map[*types.Func]bool{fn: true}
+	queue := []node{{fn, ""}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		f := e.facts[n.fn]
+		if f == nil || !f.mayAlloc {
+			continue
+		}
+		if len(f.allocs) > 0 {
+			if n.via != "" {
+				return f.allocs[0].desc + " via " + n.via
+			}
+			return f.allocs[0].desc
+		}
+		for i := range f.calls {
+			c := &f.calls[i]
+			var targets []*types.Func
+			switch c.kind {
+			case edgeStatic:
+				targets = []*types.Func{c.to}
+			case edgeDynamic:
+				targets = e.implsOf(c.to)
+			default:
+				continue
+			}
+			for _, t := range targets {
+				tf := e.facts[t]
+				if tf == nil || tf.noalloc || seen[t] {
+					continue
+				}
+				seen[t] = true
+				via := n.via
+				if via == "" {
+					via = funcLabel(t)
+				}
+				queue = append(queue, node{t, via})
+			}
+		}
+	}
+	return "allocation"
+}

@@ -26,6 +26,14 @@ type peerSender struct {
 	// txMu serializes fragment emission so fragments of different
 	// messages never interleave on the stream (the receiver reassembles
 	// one message at a time). The CTS fast path takes it briefly.
+	//
+	// Lock order (portalsvet lockorder): txMu is outermost on the
+	// transmit path; the window lock and the in-memory network's locks
+	// nest inside it.
+	//
+	//lint:lockrank peerSender.txMu < peerSender.wmu
+	//lint:lockrank peerSender.txMu < Network.mu
+	//lint:lockrank peerSender.txMu < link.mu
 	txMu sync.Mutex
 
 	// Window state, guarded by wmu.

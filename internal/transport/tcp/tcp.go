@@ -176,6 +176,12 @@ type endpoint struct {
 	wg      sync.WaitGroup
 }
 
+// sendConn serializes writes on one outgoing connection. A write failure
+// re-locks the endpoint (dropConn) while the connection's send lock is
+// still held, so the send lock ranks above the endpoint lock.
+//
+//lint:lockrank sendConn.mu < endpoint.mu
+
 // sendConn serializes writes on one outgoing connection.
 type sendConn struct {
 	mu   sync.Mutex

@@ -129,6 +129,10 @@ func (m *Machine) node(nid NID) (*nicsim.Node, error) {
 	n, ok := m.nodes[nid]
 	if !ok {
 		var err error
+		// Node bring-up binds a listener (net.Listen) under m.mu. This is
+		// NIInit-time control-path setup, serialized on purpose; no
+		// message-path code takes m.mu.
+		//lint:ignore lockdiscipline control-path node creation; m.mu is never taken on the message path
 		n, err = nicsim.NewNode(m.net, nid, m.fabric.nic)
 		if err != nil {
 			return nil, err
