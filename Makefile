@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-baseline test race short bench sweep examples ci clean trace-smoke
+.PHONY: all build lint lint-sarif lint-baseline test race short bench sweep examples ci clean trace-smoke
 
 all: build lint test
 
@@ -12,10 +12,18 @@ build:
 
 # lint runs portalsvet, the repo's own static-analysis suite (docs/LINT.md):
 # application-bypass, lock-discipline, lock-order, zero-alloc, atomics-only,
-# checked-error, and goroutine-lifecycle invariants. Only findings not in
-# the checked-in baseline fail the run.
+# checked-error, goroutine-lifecycle, guarded-by, mixed-atomic, seqlock, and
+# stale-suppression invariants. Only findings not in the checked-in baseline
+# fail the run.
 lint:
 	$(GO) run ./cmd/portalsvet -baseline lint/baseline.json ./...
+
+# lint-sarif is the same gate, additionally writing a SARIF 2.1.0 report
+# (portalsvet.sarif) for GitHub code scanning or any SARIF viewer. New
+# findings are "error"-level results, accepted baseline ones "warning".
+lint-sarif:
+	$(GO) run ./cmd/portalsvet -baseline lint/baseline.json -sarif -o portalsvet.sarif ./...
+	@echo "wrote portalsvet.sarif"
 
 # lint-baseline re-records the accepted findings. Use it when adopting a
 # check over code that cannot be fixed or suppressed right away; review the

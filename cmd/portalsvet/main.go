@@ -20,6 +20,9 @@
 // CI integration:
 //
 //	-json                 emit findings as JSON (stdout, or -o file)
+//	-sarif                emit findings as SARIF 2.1.0 (stdout, or -o file)
+//	                      for GitHub code scanning; mutually exclusive
+//	                      with -json
 //	-baseline file        accepted findings; exit 1 only on NEW findings
 //	-write-baseline file  record the current findings as the baseline
 package main
@@ -38,14 +41,20 @@ func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
 	jsonFlag := flag.Bool("json", false, "emit findings as JSON")
-	outFlag := flag.String("o", "", "with -json: write JSON findings to this file instead of stdout")
+	sarifFlag := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	outFlag := flag.String("o", "", "with -json/-sarif: write findings to this file instead of stdout")
 	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings; fail only on new ones")
 	writeBaselineFlag := flag.String("write-baseline", "", "record the current findings as the baseline and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [-json [-o file]] [-baseline file | -write-baseline file] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [-json|-sarif [-o file]] [-baseline file | -write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonFlag && *sarifFlag {
+		fmt.Fprintln(os.Stderr, "portalsvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	all := lint.AllChecks()
 	if *listFlag {
@@ -122,7 +131,22 @@ func main() {
 			os.Stdout.Write(data)
 		}
 	}
-	if !*jsonFlag || *outFlag != "" {
+	if *sarifFlag {
+		if *outFlag != "" {
+			if err := lint.WriteSARIF(*outFlag, findings); err != nil {
+				fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			data, err := lint.MarshalSARIF(findings)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "portalsvet: %v\n", err)
+				os.Exit(2)
+			}
+			os.Stdout.Write(data)
+		}
+	}
+	if (!*jsonFlag && !*sarifFlag) || *outFlag != "" {
 		cwd, _ := os.Getwd()
 		for _, d := range diags {
 			if cwd != "" {

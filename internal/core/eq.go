@@ -41,6 +41,8 @@ func (s *State) EQFree(h types.Handle) error {
 
 // eqRes returns the queue for a handle, nil if the handle is invalid or
 // stale. Caller holds resMu.
+//
+//lint:requires State.resMu
 func (s *State) eqRes(h types.Handle) *eventq.Queue {
 	if !h.IsValid() {
 		return nil

@@ -109,8 +109,8 @@ func TestTranslateIndexedMatchesReference(t *testing.T) {
 	initiators := []types.ProcessID{aliceID, bobID, {NID: 3, PID: 30}}
 	matchIDs := []types.ProcessID{
 		aliceID, bobID, {NID: 3, PID: 30}, // exact class
-		{NID: types.NIDAny, PID: types.PIDAny},  // anyInit class
-		{NID: types.NIDAny, PID: 10},            // partial wildcards: residual
+		{NID: types.NIDAny, PID: types.PIDAny}, // anyInit class
+		{NID: types.NIDAny, PID: 10},           // partial wildcards: residual
 		{NID: 1, PID: types.PIDAny},
 	}
 	ignores := []types.MatchBits{0, 0, 0, 0x3, ^types.MatchBits(0)}

@@ -38,21 +38,26 @@ type MD struct {
 // owner is fixed at creation, so recvAck/recvReply can resolve the handle
 // under resMu, drop resMu, take owner, and re-check unlinked.
 type memDesc struct {
-	md          MD
-	view        ioView // offset-addressed access, contiguous or segmented
+	md          MD     //lint:guardedby owner,portal.mu,State.bindMu
+	view        ioView //lint:guardedby owner,portal.mu,State.bindMu
 	handle      types.Handle
 	me          *matchEntry // nil for free-floating (MDBind) descriptors
 	owner       *sync.Mutex // lock guarding this descriptor's mutable state
 	unlinkOp    types.UnlinkOption
-	threshold   int32 // remaining operations; -1 = infinite
-	localOffset uint64
-	pending     int // operations awaiting a remote response (get replies)
-	unlinked    bool
+	threshold   int32  //lint:guardedby owner,portal.mu,State.bindMu  remaining operations; -1 = infinite
+	localOffset uint64 //lint:guardedby owner,portal.mu,State.bindMu
+	pending     int    //lint:guardedby owner,portal.mu,State.bindMu  operations awaiting a remote response
+	unlinked    bool   //lint:guardedby owner,portal.mu,State.bindMu
 }
 
+// active reports whether the descriptor still accepts operations.
+//
+//lint:requires owner/portal.mu
 func (d *memDesc) active() bool { return d.threshold != 0 }
 
 // consume decrements the threshold for one accepted operation.
+//
+//lint:requires owner/portal.mu
 func (d *memDesc) consume() {
 	if d.threshold > 0 {
 		d.threshold--
@@ -61,6 +66,8 @@ func (d *memDesc) consume() {
 
 // validateMD checks the user-supplied descriptor. Caller holds resMu (the
 // event-queue handle is resolved against the table).
+//
+//lint:requires State.resMu
 func (s *State) validateMD(md MD) error {
 	if len(md.Segments) > 0 && md.Start != nil {
 		return fmt.Errorf("%w: MD specifies both Start and Segments", types.ErrInvalidArgument)
@@ -80,7 +87,11 @@ func (s *State) validateMD(md MD) error {
 }
 
 // allocMD validates the descriptor and reserves a handle slot, failing if
-// the state is closed. The caller holds d.owner.
+// the state is closed. The caller holds d.owner — spelled as the full
+// aliasing alternation because MDAttach arrives under the portal lock and
+// MDBind under bindMu.
+//
+//lint:requires memDesc.owner/portal.mu/State.bindMu
 func (s *State) allocMD(d *memDesc) (types.Handle, error) {
 	s.resMu.Lock()
 	if s.closed {
@@ -228,6 +239,8 @@ func (s *State) MDStatus(h types.Handle) (threshold int32, localOffset uint64, e
 //
 // The caller holds d.owner (which for attached descriptors IS the portal
 // lock the cascade needs) and must NOT hold resMu.
+//
+//lint:requires memDesc.owner/portal.mu
 func (s *State) unlinkMD(d *memDesc, byEngine bool) {
 	if d.unlinked {
 		return

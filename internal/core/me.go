@@ -20,11 +20,11 @@ type matchEntry struct {
 	matchBits  types.MatchBits // the "must match" pattern
 	ignoreBits types.MatchBits // the "don't care" mask
 	unlink     types.UnlinkOption
-	mds        []*memDesc
-	unlinked   bool
+	mds        []*memDesc //lint:guardedby portal.mu,memDesc.owner
+	unlinked   bool       //lint:guardedby portal.mu,memDesc.owner
 
-	prev, next *matchEntry
-	seq        uint64 // order key within the match list (index.go)
+	prev, next *matchEntry //lint:guardedby portal.mu,memDesc.owner
+	seq        uint64      //lint:guardedby portal.mu,memDesc.owner  order key within the match list (index.go)
 }
 
 // matches implements the Figure 3 semantics: a set of "don't care" bits
@@ -154,7 +154,10 @@ func (s *State) MEUnlink(h types.Handle) error {
 }
 
 // unlinkME detaches the entry from its match list and index and frees its
-// slot. The caller holds p.mu and must NOT hold resMu.
+// slot. The caller holds p.mu — possibly as the aliased owner lock of an
+// attached descriptor (unlinkMD's cascade) — and must NOT hold resMu.
+//
+//lint:requires portal.mu/memDesc.owner
 func (s *State) unlinkME(p *portal, me *matchEntry) {
 	if me.unlinked {
 		return

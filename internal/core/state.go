@@ -61,10 +61,10 @@ type State struct {
 	// resMu guards the handle tables and the closed flag. Lock order:
 	// portal.mu / bindMu before resMu, never the reverse.
 	resMu  sync.Mutex
-	mes    slotTable[*matchEntry]
-	mds    slotTable[*memDesc]
-	eqs    slotTable[*eventq.Queue]
-	closed bool
+	mes    slotTable[*matchEntry]   //lint:guardedby resMu
+	mds    slotTable[*memDesc]      //lint:guardedby resMu
+	eqs    slotTable[*eventq.Queue] //lint:guardedby resMu
+	closed bool                     //lint:guardedby resMu
 
 	acl      *acl.List
 	counters *stats.Counters
@@ -72,7 +72,7 @@ type State struct {
 	// sendSeq numbers outgoing puts/gets (wire.Header.Seq); acks and
 	// replies echo it, so (self, seq) identifies one message's full round
 	// trip in the internal/obs/trace flight recorder.
-	sendSeq atomic.Uint64
+	sendSeq atomic.Uint64 //lint:guardedby atomic
 }
 
 // nextSeq returns the next wire sequence number for an outgoing operation.
@@ -158,6 +158,9 @@ func (t *slotTable[T]) init(kind types.HandleKind, max int) {
 	t.slots = make([]slot[T], 0, max)
 }
 
+// alloc reserves a slot for v.
+//
+//lint:requires State.resMu
 func (t *slotTable[T]) alloc(v T) (types.Handle, error) {
 	var idx uint32
 	if n := len(t.free); n > 0 {
@@ -176,6 +179,9 @@ func (t *slotTable[T]) alloc(v T) (types.Handle, error) {
 	return types.Handle{Kind: t.kind, Index: idx, Gen: t.slots[idx].gen}, nil
 }
 
+// lookup resolves a handle, verifying its generation.
+//
+//lint:requires State.resMu
 func (t *slotTable[T]) lookup(h types.Handle) (T, bool) {
 	var zero T
 	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
@@ -188,6 +194,9 @@ func (t *slotTable[T]) lookup(h types.Handle) (T, bool) {
 	return sl.val, true
 }
 
+// release frees a slot and bumps its generation.
+//
+//lint:requires State.resMu
 func (t *slotTable[T]) release(h types.Handle) bool {
 	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
 		return false
@@ -206,6 +215,9 @@ func (t *slotTable[T]) release(h types.Handle) bool {
 	return true
 }
 
+// each visits every live entry.
+//
+//lint:requires State.resMu
 func (t *slotTable[T]) each(f func(T)) {
 	for i := range t.slots {
 		if t.slots[i].live {

@@ -82,6 +82,8 @@ func (s *State) HandleIncomingInto(h *wire.Header, payload []byte, out []Outboun
 // rejection reasons: "the memory descriptor has not been enabled for the
 // incoming operation; or, the length specified in the request is too long
 // ... and the truncate option has not been enabled."
+//
+//lint:requires memDesc.owner/portal.mu
 func accept(d *memDesc, h *wire.Header, want types.MDOptions) (offset, mlength uint64, ok bool) {
 	if !d.active() {
 		return 0, 0, false
@@ -116,6 +118,7 @@ func accept(d *memDesc, h *wire.Header, want types.MDOptions) (offset, mlength u
 // walk would find it — but exact-match traffic resolves in O(1).
 // Caller holds p.mu.
 //
+//lint:requires portal.mu
 //lint:noalloc address translation runs per message under the portal lock
 func (s *State) translate(p *portal, h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
 	if ok, reason := s.acl.Check(h.Cookie, h.Initiator, h.PtlIndex); !ok {
@@ -176,6 +179,8 @@ func (s *State) translate(p *portal, h *wire.Header, want types.MDOptions) (*mem
 // return the same descriptor, offset, length, and drop reason on every
 // input (index_diff_test.go exercises this under randomized
 // attach/unlink/receive interleavings). Caller holds p.mu.
+//
+//lint:requires portal.mu
 func (s *State) translateReference(p *portal, h *wire.Header, want types.MDOptions) (*memDesc, uint64, uint64, types.DropReason) {
 	if ok, reason := s.acl.Check(h.Cookie, h.Initiator, h.PtlIndex); !ok {
 		return nil, 0, 0, reason
@@ -199,6 +204,8 @@ func (s *State) translateReference(p *portal, h *wire.Header, want types.MDOptio
 // consume the threshold, advance a locally-managed offset, log the event,
 // and unlink the descriptor (cascading to the match entry) if it is spent.
 // Caller holds the portal lock that owns d.
+//
+//lint:requires memDesc.owner/portal.mu
 func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Header, offset, mlength uint64) {
 	d.consume()
 	if d.md.Options&types.MDManageRemote == 0 {

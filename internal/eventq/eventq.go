@@ -52,6 +52,8 @@ type Event struct {
 // slot is one ring cell. seq carries the seqlock stamp for the cell's
 // current occupant: writeStamp(p) while position p's event is being
 // written, doneStamp(p) once it is complete. Zero means never written.
+//
+//lint:seqlock seq
 type slot struct {
 	seq atomic.Uint64
 	ev  Event
@@ -76,12 +78,15 @@ func doneStamp(p uint64) uint64  { return 2*p + 2 }
 // consumed past the victim first.
 type Queue struct {
 	ring     []slot
-	produced atomic.Uint64 // next position to reserve
-	consumed atomic.Uint64 // next position to read; stored only under mu
-	closed   atomic.Bool
+	produced atomic.Uint64 //lint:guardedby atomic
+	consumed atomic.Uint64 //lint:guardedby atomic
+	closed   atomic.Bool   //lint:guardedby atomic
 
-	mu      sync.Mutex    // consumer, overwrite, and Close paths
-	overrun bool          // under mu: a Post overwrote unconsumed events since the last Get
+	mu sync.Mutex // consumer, overwrite, and Close paths
+	// overrun records that a Post overwrote unconsumed events since the
+	// last Get.
+	//lint:guardedby mu
+	overrun bool
 	notify  chan struct{} // one-token wakeup; consumers retry Get on wake
 	done    chan struct{} // closed by Close
 }
@@ -240,6 +245,7 @@ func (r Reservation) Publish(ev Event) {
 	}
 	sl := &r.q.ring[r.pos%uint64(len(r.q.ring))]
 	ev.Sequence = r.pos
+	//lint:ignore seqlock the open stamp travels inside the Reservation: ReserveIfSpace stored writeStamp(pos) before returning, so this write happens inside the window the flow cannot see across the call boundary
 	sl.ev = ev
 	sl.seq.Store(doneStamp(r.pos))
 	posted.Add(1)
@@ -280,6 +286,7 @@ func (q *Queue) Get() (Event, error) {
 	return q.getLocked()
 }
 
+//lint:requires mu
 func (q *Queue) getLocked() (Event, error) {
 	c := q.consumed.Load()
 	if c == q.produced.Load() {

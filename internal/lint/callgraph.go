@@ -31,8 +31,11 @@ const (
 // implsOf resolves an interface method to every module method that can be
 // behind it: each named type in the loaded packages whose (pointer) method
 // set satisfies the receiver interface contributes its identically named
-// method. Only methods with bodies are returned. The result is memoized.
+// method. Only methods with bodies are returned. The result is memoized;
+// the mutex makes memoization safe for the parallel per-package flows.
 func (e *engine) implsOf(ifn *types.Func) []*types.Func {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if impls, ok := e.impls[ifn]; ok {
 		return impls
 	}
@@ -64,7 +67,8 @@ func (e *engine) implsOf(ifn *types.Func) []*types.Func {
 }
 
 // namedTypes collects every package-level named type across the loaded
-// packages (the candidate implementors for dynamic dispatch), once.
+// packages (the candidate implementors for dynamic dispatch), once. It is
+// only called from implsOf, under e.mu.
 func (e *engine) namedTypes() []*types.Named {
 	if e.named != nil {
 		return e.named

@@ -24,6 +24,19 @@
 //     allocation-free, with a call-path diagnostic for every reachable
 //     allocation (the static form of alloc_test.go's 0 allocs/op
 //     assertions).
+//   - guardedby: every access to a field annotated
+//     `//lint:guardedby mu` happens with the named lock held (seeded
+//     interprocedurally through `//lint:requires mu` function
+//     annotations), or through sync/atomic for
+//     `//lint:guardedby atomic` fields.
+//   - mixedatomic: no field is accessed both through sync/atomic and by
+//     plain load/store anywhere in the module.
+//   - seqlock: fields of a `//lint:seqlock stamp` ring slot are only
+//     written inside an open (odd) stamp window and only read under
+//     stamp validation — the eventq / obs/trace publication protocol.
+//   - staleignore: a `//lint:ignore` directive whose named check never
+//     fires on its line is itself reported (deletable only; staleignore
+//     cannot be suppressed).
 //
 // The bypassviolation, lockdiscipline, lockorder, and noalloc checks are
 // interprocedural: a facts engine (summary.go, callgraph.go) builds a
@@ -50,9 +63,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, printed as "file:line: [check] message".
@@ -83,6 +98,10 @@ func AllChecks() []Check {
 		atomicsCheck{},
 		checkedErrCheck{},
 		goroutineCheck{},
+		guardedByCheck{},
+		mixedAtomicCheck{},
+		seqlockCheck{},
+		staleIgnoreCheck{},
 	}
 }
 
@@ -107,8 +126,9 @@ type Program struct {
 	// All maps import path to every loaded local package, Packages included.
 	All map[string]*Package
 
-	funcs map[*types.Func]*funcSource
-	eng   *engine
+	funcs    map[*types.Func]*funcSource
+	eng      *engine
+	guardRes *guardResult
 }
 
 // funcSource is the body of a module function, for call-graph traversal.
@@ -119,13 +139,17 @@ type funcSource struct {
 
 // Run executes the given checks (all of them if checks is nil), filters
 // suppressed findings, and returns the rest sorted by position. Malformed
-// suppression directives are appended as their own diagnostics.
+// suppression directives and stale suppressions (a directive whose check
+// produced nothing on its line — the staleignore check) are appended as
+// their own diagnostics after filtering, so neither can be suppressed.
 func (p *Program) Run(checks []Check) []Diagnostic {
 	if checks == nil {
 		checks = AllChecks()
 	}
+	ran := make(map[string]bool, len(checks))
 	var diags []Diagnostic
 	for _, c := range checks {
+		ran[c.Name()] = true
 		diags = append(diags, c.Run(p)...)
 	}
 	sup, bad := p.suppressions()
@@ -136,6 +160,13 @@ func (p *Program) Run(checks []Check) []Diagnostic {
 		}
 	}
 	kept = append(kept, bad...)
+	// A package-subset run (some loaded packages outside the analyzed
+	// selection) sees incomplete cross-package facts — an interface call may
+	// resolve to nothing because its implementations weren't selected — so
+	// only a whole-module run can judge whether a suppression is dead.
+	if len(p.Packages) == len(p.All) {
+		kept = append(kept, sup.stale(ran)...)
+	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -149,25 +180,85 @@ func (p *Program) Run(checks []Check) []Diagnostic {
 	return kept
 }
 
-// suppressionSet indexes //lint:ignore directives by file and line.
-type suppressionSet map[string]map[int][]string // file -> line -> check names
+// suppression is one well-formed //lint:ignore directive, tracking which
+// of its named checks actually matched a finding this run.
+type suppression struct {
+	pos      token.Position
+	names    []string
+	used     []bool
+	analyzed bool // directive sits in a package under analysis
+}
 
-func (s suppressionSet) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+// suppressionSet indexes //lint:ignore directives by file and line.
+type suppressionSet struct {
+	byLine map[string]map[int][]*suppression
+	all    []*suppression // in deterministic (path, file, offset) order
+}
+
+func (s *suppressionSet) covers(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	// A directive suppresses findings on its own line and the line below
 	// (i.e. it may trail the statement or sit directly above it).
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == d.Check {
-				return true
+		for _, sup := range lines[line] {
+			for i, name := range sup.names {
+				if name == d.Check {
+					sup.used[i] = true
+					return true
+				}
 			}
 		}
 	}
 	return false
 }
+
+// stale reports, for every directive in an analyzed package, each named
+// check that ran but suppressed nothing on that line — the directive is
+// dead weight and must be deleted. A name no check owns (a typo, or
+// "staleignore" itself) is always stale. Checks that did not run this
+// invocation are left alone: a subset run cannot judge their directives.
+// (The caller applies the same principle to package subsets: stale is only
+// consulted when every loaded package was analyzed.)
+func (s *suppressionSet) stale(ran map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, c := range AllChecks() {
+		known[c.Name()] = true
+	}
+	var out []Diagnostic
+	for _, sup := range s.all {
+		if !sup.analyzed {
+			continue
+		}
+		for i, name := range sup.names {
+			if sup.used[i] {
+				continue
+			}
+			if known[name] && !ran[name] {
+				continue
+			}
+			msg := "suppression for " + name + " matches no finding on this line; delete the stale //lint:ignore"
+			if !known[name] {
+				msg = "suppression names unknown check " + strconv.Quote(name) + "; delete the stale //lint:ignore"
+			}
+			out = append(out, Diagnostic{Pos: sup.pos, Check: "staleignore", Message: msg})
+		}
+	}
+	return out
+}
+
+// staleIgnoreCheck exists to name and document staleignore; the detection
+// itself runs inside Run (after suppression filtering, so a stale
+// directive cannot suppress its own report) whenever any checks run.
+type staleIgnoreCheck struct{}
+
+func (staleIgnoreCheck) Name() string { return "staleignore" }
+func (staleIgnoreCheck) Doc() string {
+	return "//lint:ignore directives whose check fires nothing on their line are deleted, not kept"
+}
+func (staleIgnoreCheck) Run(p *Program) []Diagnostic { return nil }
 
 const ignorePrefix = "//lint:ignore"
 
@@ -188,15 +279,22 @@ func directiveArgs(text, directive string) (string, bool) {
 // suppressions scans every loaded file for //lint:ignore directives. The
 // suppression set covers all packages (a finding reached from an analyzed
 // root may sit in a dependency package); malformed directives are only
-// reported for the packages under analysis.
-func (p *Program) suppressions() (suppressionSet, []Diagnostic) {
+// reported for the packages under analysis. Directives are collected in
+// sorted package order so staleignore findings are deterministic.
+func (p *Program) suppressions() (*suppressionSet, []Diagnostic) {
 	analyzed := make(map[*Package]bool, len(p.Packages))
 	for _, pkg := range p.Packages {
 		analyzed[pkg] = true
 	}
-	set := make(suppressionSet)
+	set := &suppressionSet{byLine: make(map[string]map[int][]*suppression)}
 	var bad []Diagnostic
-	for _, pkg := range p.All {
+	paths := make([]string, 0, len(p.All))
+	for path := range p.All {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := p.All[path]
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -227,17 +325,62 @@ func (p *Program) suppressions() (suppressionSet, []Diagnostic) {
 					if !valid {
 						continue
 					}
-					m := set[pos.Filename]
-					if m == nil {
-						m = make(map[int][]string)
-						set[pos.Filename] = m
+					sup := &suppression{
+						pos:      pos,
+						names:    names,
+						used:     make([]bool, len(names)),
+						analyzed: analyzed[pkg],
 					}
-					m[pos.Line] = append(m[pos.Line], names...)
+					set.all = append(set.all, sup)
+					m := set.byLine[pos.Filename]
+					if m == nil {
+						m = make(map[int][]*suppression)
+						set.byLine[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], sup)
 				}
 			}
 		}
 	}
 	return set, bad
+}
+
+// forEachPackage runs fn over every analyzed package, concurrently when
+// more than one CPU is available (bounded by GOMAXPROCS), and returns the
+// diagnostics concatenated in package order so output is deterministic
+// regardless of scheduling. fn must only touch per-package state and the
+// Program's prebuilt read-only structures (engine, funcSources, guard
+// tables) — build those before calling.
+func forEachPackage(p *Program, fn func(*Package) []Diagnostic) []Diagnostic {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 1 {
+		procs = 1
+	}
+	if procs == 1 || len(p.Packages) <= 1 {
+		var all []Diagnostic
+		for _, pkg := range p.Packages {
+			all = append(all, fn(pkg)...)
+		}
+		return all
+	}
+	out := make([][]Diagnostic, len(p.Packages))
+	sem := make(chan struct{}, procs)
+	var wg sync.WaitGroup
+	for i := range p.Packages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = fn(p.Packages[i])
+		}(i)
+	}
+	wg.Wait()
+	var all []Diagnostic
+	for _, d := range out {
+		all = append(all, d...)
+	}
+	return all
 }
 
 // funcSources lazily indexes every function declaration with a body across

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -912,6 +913,481 @@ func g() {}
 	}
 	if !strings.Contains(diags[0].Message, "empty check name") {
 		t.Errorf("finding %q does not mention the empty check name", diags[0].Message)
+	}
+}
+
+func TestGuardedBy(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/gb": {"gb.go": `package gb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int //lint:guardedby mu
+
+	rw sync.RWMutex
+	v  int //lint:guardedby rw
+
+	c uint64       //lint:guardedby atomic
+	t atomic.Int64 //lint:guardedby atomic
+}
+
+func (s *S) locked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) unlocked() {
+	s.n++ // want:guardedby
+}
+
+// helper documents its contract; the body checks clean under it.
+//
+//lint:requires mu
+func (s *S) helper() { s.n = 2 }
+
+func (s *S) callsHelperLocked() {
+	s.mu.Lock()
+	s.helper()
+	s.mu.Unlock()
+}
+
+func (s *S) callsHelperUnlocked() {
+	s.helper() // want:guardedby
+}
+
+func (s *S) readUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.v
+}
+
+func (s *S) writeUnderRLock() {
+	s.rw.RLock()
+	s.v = 2 // want:guardedby
+	s.rw.RUnlock()
+}
+
+func (s *S) atomicOK() {
+	atomic.AddUint64(&s.c, 1)
+	s.t.Add(1)
+}
+
+func (s *S) atomicPlain() {
+	s.c++ // want:guardedby
+}
+
+// NewS initializes fields on a fresh, unpublished object: exempt.
+func NewS() *S {
+	s := &S{}
+	s.n = 1
+	return s
+}
+
+func (s *S) hushed() {
+	//lint:ignore guardedby fixture: externally synchronized
+	s.n = 3
+}
+
+// Dotted cross-struct guard: the lock lives on another type.
+type Owner struct{ mu sync.Mutex }
+
+type Item struct {
+	val int //lint:guardedby Owner.mu
+}
+
+func use(o *Owner, it *Item) {
+	o.mu.Lock()
+	it.val = 1
+	o.mu.Unlock()
+}
+
+func misuse(it *Item) {
+	it.val = 2 // want:guardedby
+}
+`},
+	}, []Check{guardedByCheck{}})
+}
+
+// TestGuardedByRequiresAlternation covers the "/" form: a callee declaring
+// //lint:requires a/b holds ONE of a,b (unknown which), so it satisfies
+// only guards that list both, and its call sites may hold either.
+func TestGuardedByRequiresAlternation(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/alt": {"alt.go": `package alt
+
+import "sync"
+
+type Q struct{ mu sync.Mutex }
+
+type P struct {
+	mu   sync.Mutex
+	both int //lint:guardedby mu,Q.mu
+	only int //lint:guardedby mu
+}
+
+// touch runs under P.mu or Q.mu, whichever the caller aliases.
+//
+//lint:requires P.mu/Q.mu
+func touch(p *P) {
+	p.both = 1
+	p.only = 2 // want:guardedby
+}
+
+func callerP(p *P) {
+	p.mu.Lock()
+	touch(p)
+	p.mu.Unlock()
+}
+
+func callerQ(p *P, q *Q) {
+	q.mu.Lock()
+	touch(p)
+	q.mu.Unlock()
+}
+
+func callerNone(p *P) {
+	touch(p) // want:guardedby
+}
+`},
+	}, []Check{guardedByCheck{}})
+}
+
+// TestGuardedByClosureInheritance: synchronous closures inherit the
+// enclosing //lint:requires grants; go-launched literals do not.
+func TestGuardedByClosure(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/cl": {"cl.go": `package cl
+
+import "sync"
+
+type L struct {
+	mu sync.Mutex
+	n  int //lint:guardedby mu
+}
+
+//lint:requires L.mu
+func scan(l *L) {
+	f := func() int { return l.n }
+	_ = f()
+}
+
+//lint:requires L.mu
+func escape(l *L) {
+	go func() {
+		l.n++ // want:guardedby
+	}()
+}
+`},
+	}, []Check{guardedByCheck{}})
+}
+
+func TestSeqlock(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/sq": {"sq.go": `package sq
+
+import "sync/atomic"
+
+// slot is a seqlock-stamped ring slot: odd stamp = writer owns it.
+//
+//lint:seqlock stamp
+type slot struct {
+	stamp atomic.Uint64
+	val   uint64
+}
+
+func publish(s *slot, seq uint64) {
+	s.stamp.Store(2*seq + 1)
+	s.val = seq
+	s.stamp.Store(2*seq + 2)
+}
+
+func badWrite(s *slot, seq uint64) {
+	s.val = seq // want:seqlock
+}
+
+func badRead(s *slot) uint64 {
+	return s.val // want:seqlock
+}
+
+func writeAfterClose(s *slot, seq uint64) {
+	s.stamp.Store(2*seq + 1)
+	s.val = seq
+	s.stamp.Store(2*seq + 2)
+	s.val = 0 // want:seqlock
+}
+
+func readValidated(s *slot, seq uint64) (uint64, bool) {
+	if s.stamp.Load() != 2*seq+2 {
+		return 0, false
+	}
+	v := s.val
+	if s.stamp.Load() != 2*seq+2 {
+		return 0, false
+	}
+	return v, true
+}
+
+func writeUnderValidation(s *slot, seq uint64) {
+	if s.stamp.Load() == 2*seq+2 {
+		s.val = 9 // want:seqlock
+	}
+}
+
+func casWrite(s *slot, seq uint64) {
+	if !s.stamp.CompareAndSwap(2*seq, 2*seq+1) {
+		return
+	}
+	s.val = seq
+	s.stamp.Store(2*seq + 2)
+}
+
+// fill documents that its caller opened the window.
+//
+//lint:requires slot.stamp
+func fill(s *slot, v uint64) { s.val = v }
+
+func opens(s *slot, seq uint64) {
+	s.stamp.Store(2*seq + 1)
+	fill(s, seq)
+	s.stamp.Store(2*seq + 2)
+}
+
+func noWindow(s *slot, v uint64) {
+	fill(s, v) // want:seqlock
+}
+
+// Constructor exemption: the slot is not published yet.
+func fresh() *slot {
+	s := &slot{}
+	s.val = 1
+	return s
+}
+
+func hushed(s *slot) uint64 {
+	//lint:ignore seqlock fixture: torn read tolerated here
+	return s.val
+}
+`},
+	}, []Check{seqlockCheck{}})
+}
+
+func TestMixedAtomic(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/ma": {"ma.go": `package ma
+
+import "sync/atomic"
+
+type C struct {
+	n uint64
+	m uint64
+	t atomic.Int64
+}
+
+func bump(c *C) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func read(c *C) uint64 {
+	return c.n // want:mixedatomic
+}
+
+// m is only ever plain, t is an atomic type: neither is mixed.
+func plainOnly(c *C) int64 {
+	c.m++
+	c.t.Add(1)
+	return c.t.Load()
+}
+
+// Constructor exemption: initialization predates publication.
+func New() *C {
+	c := &C{}
+	c.n = 1
+	return c
+}
+
+func hushed(c *C) uint64 {
+	//lint:ignore mixedatomic fixture: init-time read, externally quiesced
+	return c.n
+}
+`},
+	}, []Check{mixedAtomicCheck{}})
+}
+
+// TestStaleIgnore: a directive whose check fires nothing on its line is
+// itself reported; used directives and unknown-name directives behave as
+// documented; subset runs (of checks or of packages) don't judge.
+func TestStaleIgnore(t *testing.T) {
+	load := func() *Program {
+		prog, err := LoadSource("repro", map[string]map[string]string{
+			"repro/internal/nicsim": {"node.go": `package nicsim
+
+type Node struct{ ch chan int }
+
+func (n *Node) onMessage() {
+	//lint:ignore bypassviolation fixture: this one is used
+	<-n.ch
+}
+
+func (n *Node) quiet() int {
+	//lint:ignore bypassviolation fixture: nothing fires here
+	return 1
+}
+
+func (n *Node) typo() int {
+	//lint:ignore bogomips fixture: no such check
+	return 2
+}
+`},
+			"repro/internal/other": {"other.go": `package other
+
+func F() int { return 3 }
+`},
+		})
+		if err != nil {
+			t.Fatalf("LoadSource: %v", err)
+		}
+		return prog
+	}
+
+	// Full run: the unused directive and the unknown name are stale, the
+	// used one is not.
+	diags := load().Run(nil)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 staleignore findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Check != "staleignore" {
+			t.Errorf("unexpected check %q in %v", d.Check, d)
+		}
+	}
+	if diags[0].Pos.Line != 11 || !strings.Contains(diags[0].Message, "matches no finding") {
+		t.Errorf("want stale-unused at node.go:11, got %v", diags[0])
+	}
+	if diags[1].Pos.Line != 16 || !strings.Contains(diags[1].Message, "unknown check") {
+		t.Errorf("want unknown-name at node.go:16, got %v", diags[1])
+	}
+
+	// Check-subset run: bypassviolation did not run, so its directives are
+	// not judged; the unknown name is stale regardless.
+	diags = load().Run([]Check{lockCheck{}})
+	if len(diags) != 1 || diags[0].Pos.Line != 16 {
+		t.Fatalf("check-subset: want only the unknown-name finding, got %v", diags)
+	}
+
+	// Package-subset run: cross-package facts are incomplete, so stale
+	// judgments are skipped entirely.
+	prog := load()
+	for _, pkg := range prog.Packages {
+		if pkg.Path == "repro/internal/other" {
+			prog.Packages = []*Package{pkg}
+		}
+	}
+	if diags := prog.Run(nil); len(diags) != 0 {
+		t.Fatalf("package-subset: want no findings, got %v", diags)
+	}
+}
+
+// TestStaleIgnoreSelfSuppression: a stale finding cannot be silenced by
+// naming staleignore in the directive — the name itself is unknown-to-own.
+func TestStaleIgnoreSelfSuppression(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/ss": {"ss.go": `package ss
+
+//lint:ignore staleignore trying to silence the janitor
+func f() {}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run(nil)
+	if len(diags) != 1 || diags[0].Check != "staleignore" {
+		t.Fatalf("want one staleignore finding, got %v", diags)
+	}
+}
+
+func TestSARIFMarshal(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/core/state.go", Line: 12, Check: "guardedby", Message: "field accessed without mu held", New: true},
+		{File: "internal/eventq/eventq.go", Line: 40, Check: "seqlock", Message: "write outside window"},
+		{File: "x.go", Line: 1, Check: "novelcheck", Message: "from a future version"},
+	}
+	data, err := MarshalSARIF(findings)
+	if err != nil {
+		t.Fatalf("MarshalSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("bad version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "portalsvet" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = i
+	}
+	for _, want := range []string{"guardedby", "mixedatomic", "seqlock", "staleignore", "badsuppress", "novelcheck"} {
+		if _, ok := ruleIDs[want]; !ok {
+			t.Errorf("rules missing %q", want)
+		}
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(run.Results))
+	}
+	if r := run.Results[0]; r.Level != "error" || r.RuleID != "guardedby" ||
+		r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/core/state.go" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 12 {
+		t.Errorf("new finding rendered wrong: %+v", r)
+	}
+	if r := run.Results[1]; r.Level != "warning" {
+		t.Errorf("baseline finding should be warning, got %q", r.Level)
+	}
+	for _, r := range run.Results {
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("ruleIndex %d does not point at %q", r.RuleIndex, r.RuleID)
+		}
 	}
 }
 

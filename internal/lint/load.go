@@ -9,6 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -59,6 +60,7 @@ func Load(dir string, patterns []string) (*Program, error) {
 			roots = append(roots, importPathFor(modRoot, modPath, abs))
 		}
 	}
+	l.prefetch(roots)
 	return l.program(roots)
 }
 
@@ -95,13 +97,20 @@ func LoadSource(modPath string, pkgs map[string]map[string]string) (*Program, er
 // loader resolves imports: module-local packages through the files hook,
 // everything else through the shared standard-library importer cache.
 type loader struct {
-	fset    *token.FileSet
-	modPath string
-	modRoot string
-	files   func(importPath string) (map[string][]byte, error)
-	pkgs    map[string]*Package
-	loading map[string]bool
-	errs    []error
+	fset      *token.FileSet
+	modPath   string
+	modRoot   string
+	files     func(importPath string) (map[string][]byte, error)
+	pkgs      map[string]*Package
+	loading   map[string]bool
+	preparsed map[string]*parsedPkg
+	errs      []error
+}
+
+// parsedPkg is the parse-only half of loading one package.
+type parsedPkg struct {
+	files []*ast.File
+	err   error
 }
 
 // stdImports is a process-wide cache for standard-library packages. The
@@ -173,6 +182,74 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	return stdImport(path)
 }
 
+// prefetch parses the root packages concurrently before the sequential
+// type-checking phase, bounded by GOMAXPROCS. token.FileSet is safe for
+// concurrent use, so the parsed files land directly in the shared set;
+// type-checking stays sequential because the source importer is not
+// concurrency-safe. On a multi-core host this overlaps the dominant
+// parse+read I/O of a "./..." load; load() falls back to parsing inline
+// for packages reached only as dependencies.
+func (l *loader) prefetch(roots []string) {
+	uniq := make([]string, 0, len(roots))
+	seen := make(map[string]bool, len(roots))
+	for _, path := range roots {
+		if !seen[path] {
+			seen[path] = true
+			uniq = append(uniq, path)
+		}
+	}
+	l.preparsed = make(map[string]*parsedPkg, len(uniq))
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 1 {
+		procs = 1
+	}
+	if procs == 1 || len(uniq) <= 1 {
+		return // nothing to overlap; parse lazily as before
+	}
+	var mu sync.Mutex
+	sem := make(chan struct{}, procs)
+	var wg sync.WaitGroup
+	for _, path := range uniq {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pp := l.parsePackage(path)
+			mu.Lock()
+			l.preparsed[path] = pp
+			mu.Unlock()
+		}(path)
+	}
+	wg.Wait()
+}
+
+// parsePackage reads and parses one package's sources into the shared
+// FileSet.
+func (l *loader) parsePackage(path string) *parsedPkg {
+	srcs, err := l.files(path)
+	if err != nil {
+		return &parsedPkg{err: err}
+	}
+	if len(srcs) == 0 {
+		return &parsedPkg{err: fmt.Errorf("no Go files in %q", path)}
+	}
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, srcs[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return &parsedPkg{err: err}
+		}
+		files = append(files, f)
+	}
+	return &parsedPkg{files: files}
+}
+
 // load parses and type-checks one local package, memoized.
 func (l *loader) load(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
@@ -184,26 +261,14 @@ func (l *loader) load(path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	srcs, err := l.files(path)
-	if err != nil {
-		return nil, err
+	pp := l.preparsed[path]
+	if pp == nil {
+		pp = l.parsePackage(path)
 	}
-	if len(srcs) == 0 {
-		return nil, fmt.Errorf("no Go files in %q", path)
+	if pp.err != nil {
+		return nil, pp.err
 	}
-	names := make([]string, 0, len(srcs))
-	for name := range srcs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	files := make([]*ast.File, 0, len(names))
-	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, name, srcs[name], parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
+	files := pp.files
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),

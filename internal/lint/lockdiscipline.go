@@ -26,8 +26,9 @@ func (lockCheck) Doc() string {
 }
 
 func (lockCheck) Run(p *Program) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range p.Packages {
+	p.engine() // prebuild: the parallel flows only read the summaries
+	return forEachPackage(p, func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch fn := n.(type) {
@@ -47,8 +48,8 @@ func (lockCheck) Run(p *Program) []Diagnostic {
 				return true
 			})
 		}
-	}
-	return diags
+		return diags
+	})
 }
 
 // heldLock is the state of one mutex expression within a function.
@@ -99,16 +100,20 @@ type loopCtx struct {
 // With orders set it runs in lock-order mode: lockdiscipline diagnostics
 // are muted and every acquisition made while another classified lock is
 // held is recorded as an edge instead (the lockorder check, lockorder.go).
+// With guard set it runs in guard mode (guardedby.go): diagnostics are
+// muted the same way and every field selection is checked against the
+// //lint:guardedby and //lint:seqlock tables under the current lock set.
 type lockFlow struct {
 	prog   *Program
 	pkg    *Package
 	diags  []Diagnostic
 	loops  []*loopCtx
 	orders *orderSink
+	guard  *guardPass
 }
 
 func (a *lockFlow) report(pos token.Pos, format string, args ...any) {
-	if a.orders != nil {
+	if a.orders != nil || a.guard != nil {
 		return
 	}
 	a.diags = append(a.diags, Diagnostic{
@@ -119,7 +124,13 @@ func (a *lockFlow) report(pos token.Pos, format string, args ...any) {
 }
 
 func (a *lockFlow) run(body *ast.BlockStmt) {
-	res := a.stmts(body.List, lockSet{})
+	a.runEntry(body, lockSet{})
+}
+
+// runEntry analyzes a body with a caller-provided entry state (guard mode
+// seeds //lint:requires locks; everything else starts empty).
+func (a *lockFlow) runEntry(body *ast.BlockStmt, entry lockSet) {
+	res := a.stmts(body.List, entry)
 	if !res.terminated {
 		a.checkRelease(body.End(), res.state)
 	}
@@ -163,6 +174,11 @@ func (a *lockFlow) stmt(s ast.Stmt, st lockSet) flowResult {
 		return flowResult{state: a.expr(s.X, st)}
 
 	case *ast.AssignStmt:
+		if a.guard != nil {
+			for _, e := range s.Lhs {
+				a.guard.markWrite(e)
+			}
+		}
 		for _, e := range s.Rhs {
 			st = a.expr(e, st)
 		}
@@ -172,6 +188,9 @@ func (a *lockFlow) stmt(s ast.Stmt, st lockSet) flowResult {
 		return flowResult{state: st}
 
 	case *ast.IncDecStmt:
+		if a.guard != nil {
+			a.guard.markWrite(s.X)
+		}
 		return flowResult{state: a.expr(s.X, st)}
 
 	case *ast.DeclStmt:
@@ -241,10 +260,17 @@ func (a *lockFlow) stmt(s ast.Stmt, st lockSet) flowResult {
 			st = res.state
 		}
 		st = a.expr(s.Cond, st)
-		thenRes := a.stmts(s.Body.List, st.clone())
-		elseRes := flowResult{state: st.clone()}
+		thenSt, elseSt := st.clone(), st.clone()
+		if a.guard != nil {
+			// Guard mode: the condition may prove seqlock facts on one
+			// branch (a winning stamp CompareAndSwap, a validated stamp
+			// comparison).
+			a.guard.applyCondGrants(s.Cond, thenSt, elseSt)
+		}
+		thenRes := a.stmts(s.Body.List, thenSt)
+		elseRes := flowResult{state: elseSt}
 		if s.Else != nil {
-			elseRes = a.stmt(s.Else, st.clone())
+			elseRes = a.stmt(s.Else, elseSt)
 		}
 		switch {
 		case thenRes.terminated && elseRes.terminated:
@@ -367,6 +393,7 @@ func (a *lockFlow) loop(s ast.Stmt, st lockSet, label string) flowResult {
 	defer func() { a.loops = a.loops[:len(a.loops)-1] }()
 
 	var body *ast.BlockStmt
+	var cond ast.Expr
 	entry := st
 	switch s := s.(type) {
 	case *ast.ForStmt:
@@ -375,6 +402,7 @@ func (a *lockFlow) loop(s ast.Stmt, st lockSet, label string) flowResult {
 		}
 		if s.Cond != nil {
 			entry = a.expr(s.Cond, entry)
+			cond = s.Cond
 		}
 		body = s.Body
 	case *ast.RangeStmt:
@@ -386,8 +414,15 @@ func (a *lockFlow) loop(s ast.Stmt, st lockSet, label string) flowResult {
 		}
 		body = s.Body
 	}
-	res := a.stmts(body.List, entry.clone())
+	bodyEntry := entry.clone()
 	out := entry.clone()
+	if a.guard != nil && cond != nil {
+		// Guard mode: the loop condition proves seqlock facts — body
+		// iterations see its true outcome, the fallthrough exit its false
+		// outcome (the stamp-validate-reread loop pattern).
+		a.guard.applyCondGrants(cond, bodyEntry, out)
+	}
+	res := a.stmts(body.List, bodyEntry)
 	if !res.terminated {
 		out = merge(out, res.state)
 	}
@@ -437,6 +472,14 @@ func (a *lockFlow) scanExpr(e ast.Expr, st lockSet, reportBlocking bool) lockSet
 			if n.Op == token.ARROW && reportBlocking {
 				a.blockingOp(n.Pos(), "channel receive", st)
 			}
+			if n.Op == token.AND && a.guard != nil {
+				// Address-taken fields may be mutated through the pointer.
+				a.guard.markWrite(n.X)
+			}
+		case *ast.SelectorExpr:
+			if a.guard != nil {
+				a.guard.access(n, st)
+			}
 		case *ast.CallExpr:
 			st = a.call(n, st, reportBlocking)
 			return false // call handles its own descent
@@ -449,6 +492,15 @@ func (a *lockFlow) scanExpr(e ast.Expr, st lockSet, reportBlocking bool) lockSet
 // call processes one call expression: argument scan, lock-state updates,
 // and blocking classification.
 func (a *lockFlow) call(c *ast.CallExpr, st lockSet, reportBlocking bool) lockSet {
+	if a.guard != nil {
+		// Sanction &field arguments to sync/atomic before the argument
+		// scan sees them, and check the receiver chain (s.field.Method()
+		// reads s.field, which the argument scan does not visit).
+		a.guard.preCall(c)
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			st = a.scanExpr(sel.X, st, false)
+		}
+	}
 	for _, arg := range c.Args {
 		st = a.scanExpr(arg, st, reportBlocking)
 	}
@@ -456,6 +508,9 @@ func (a *lockFlow) call(c *ast.CallExpr, st lockSet, reportBlocking bool) lockSe
 		return a.applyLockOp(c, x, mu, op, st)
 	}
 	fn := calleeOf(a.pkg.Info, c)
+	if a.guard != nil {
+		st = a.guard.callHook(c, fn, st)
+	}
 	if fn == nil {
 		return st
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // lockOrderCheck verifies the documented lock hierarchy (docs/PERF.md §2)
@@ -64,9 +65,11 @@ func (lockOrderCheck) Run(p *Program) []Diagnostic {
 
 	reach := newReachability(adj)
 
-	// Collect acquisition edges from every analyzed function.
+	// Collect acquisition edges from every analyzed function. The sink is
+	// shared across the parallel per-package flows; its add is locked.
 	sink := &orderSink{}
-	for _, pkg := range p.Packages {
+	p.engine() // prebuild before fanning out
+	forEachPackage(p, func(pkg *Package) []Diagnostic {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch fn := n.(type) {
@@ -82,7 +85,8 @@ func (lockOrderCheck) Run(p *Program) []Diagnostic {
 				return true
 			})
 		}
-	}
+		return nil
+	})
 
 	// Validate each edge against the declared order.
 	edges := sink.sorted()
@@ -252,10 +256,13 @@ type lockEdge struct {
 
 // orderSink collects deduplicated acquisition edges during lockFlow runs.
 type orderSink struct {
+	mu    sync.Mutex
 	edges map[string]lockEdge
 }
 
 func (s *orderSink) add(e lockEdge) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.edges == nil {
 		s.edges = make(map[string]lockEdge)
 	}

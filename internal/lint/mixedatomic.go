@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// mixedAtomicCheck flags fields that are accessed both through sync/atomic
+// free functions (atomic.AddUint64(&s.n, 1)) and by plain load/store
+// anywhere in the module: the plain accesses race with the atomic ones,
+// and the Go memory model gives them no ordering. Accesses through
+// freshly constructed, not-yet-published objects are exempt (constructor
+// initialization); remaining intentional sites are suppressible.
+//
+// Fields whose own type is a sync/atomic composite are out of scope —
+// they cannot be accessed plainly without tripping vet's copylocks.
+type mixedAtomicCheck struct{}
+
+func (mixedAtomicCheck) Name() string { return "mixedatomic" }
+func (mixedAtomicCheck) Doc() string {
+	return "no field is accessed both through sync/atomic and by plain load/store"
+}
+
+type fieldSites struct {
+	atomic []token.Pos // sites accessing the field via sync/atomic
+	plain  []plainSite // every other selector access
+}
+
+type plainSite struct {
+	pos      token.Pos
+	analyzed bool // whether the access is in an analyzed package
+}
+
+func (mixedAtomicCheck) Run(p *Program) []Diagnostic {
+	analyzed := make(map[*Package]bool, len(p.Packages))
+	for _, pkg := range p.Packages {
+		analyzed[pkg] = true
+	}
+	sites := make(map[*types.Var]*fieldSites)
+	at := func(v *types.Var) *fieldSites {
+		s := sites[v]
+		if s == nil {
+			s = &fieldSites{}
+			sites[v] = s
+		}
+		return s
+	}
+	paths := make([]string, 0, len(p.All))
+	for path := range p.All {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := p.All[path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				scanMixed(pkg, fd.Body, analyzed[pkg], at)
+			}
+		}
+	}
+	fields := make([]*types.Var, 0, len(sites))
+	for v, s := range sites {
+		if len(s.atomic) > 0 && len(s.plain) > 0 {
+			fields = append(fields, v)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		return sites[fields[i]].atomic[0] < sites[fields[j]].atomic[0]
+	})
+	var diags []Diagnostic
+	for _, v := range fields {
+		s := sites[v]
+		ap := p.Fset.Position(s.atomic[0])
+		where := fmt.Sprintf("%s:%d", filepath.Base(ap.Filename), ap.Line)
+		for _, site := range s.plain {
+			if !site.analyzed {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   p.Fset.Position(site.pos),
+				Check: "mixedatomic",
+				Message: fmt.Sprintf("field %s is accessed with sync/atomic (%s) but read/written plainly here",
+					fieldLabel(v), where),
+			})
+		}
+	}
+	return diags
+}
+
+// scanMixed records every field selector in one function body as an
+// atomic or plain site. Function literals are included: publication
+// hazards do not stop at literal boundaries.
+func scanMixed(pkg *Package, body *ast.BlockStmt, analyzed bool, at func(*types.Var) *fieldSites) {
+	fresh := collectFresh(pkg, body)
+	freshRoot := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				e = x.X
+			case *ast.Ident:
+				obj := pkg.Info.Uses[x]
+				if obj == nil {
+					obj = pkg.Info.Defs[x]
+				}
+				return obj != nil && fresh[obj]
+			default:
+				return false
+			}
+		}
+	}
+	sanctioned := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeOf(pkg.Info, n)
+			if fn != nil && pkgPathOf(fn) == "sync/atomic" {
+				for _, arg := range n.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+							if v := plainField(pkg, sel); v != nil {
+								at(v).atomic = append(at(v).atomic, sel.Pos())
+							}
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if sanctioned[n] {
+				return false // counted as the atomic site above
+			}
+			v := plainField(pkg, n)
+			if v == nil || freshRoot(n.X) {
+				return true
+			}
+			at(v).plain = append(at(v).plain, plainSite{pos: n.Pos(), analyzed: analyzed})
+		}
+		return true
+	})
+}
+
+// plainField resolves a selector to a struct field of non-atomic type
+// declared in the module (stdlib fields are not ours to judge).
+func plainField(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if isAtomicType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func fieldLabel(v *types.Var) string {
+	return v.Pkg().Name() + "." + v.Name()
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// Seqlock stamp protocol (eventq, obs/trace): a slot's stamp is even when
+// the slot is stable and odd while a writer owns it. The guard pass
+// models the protocol with two pseudo lock-set entries per //lint:seqlock
+// class:
+//
+//	seq:<class>  — an open write window: an odd stamp Store (or a stamp
+//	               CompareAndSwap known to have succeeded) was executed on
+//	               this path. Writes and reads of protected fields are
+//	               legal. An even or unknown-parity Store closes it.
+//	seqv:<class> — a validated read: the path is dominated by a stamp
+//	               comparison against an even value (the exit of a
+//	               validate-reread loop, or the true branch of an equality
+//	               test). Reads are legal, writes are not (reader=true).
+//
+// Both states come from branch conditions via condGrants, which the flow
+// applies to if/for branches, mirroring how real seqlock code is written:
+//
+//	if !s.stamp.CompareAndSwap(st, st+1) { continue }  // open on fallthrough
+//	for s.stamp.Load() != done { ... }                 // validated at exit
+
+// stampOp updates the seqlock window state for a method call on a stamp
+// field (s.stamp.Store(v) and friends). Stores of odd parity open the
+// write window; even or unknown parity closes it (the standard publish
+// step stores the even done-stamp).
+func (g *guardPass) stampOp(c *ast.CallExpr, method string, sd *seqlockDecl, st lockSet) lockSet {
+	switch method {
+	case "Store":
+		if len(c.Args) != 1 {
+			return st
+		}
+		st = st.clone()
+		if g.parityOf(c.Args[0]) == 1 {
+			st[seqOpenKey(sd.class)] = heldLock{pos: c.Pos(), class: sd.class}
+		} else {
+			delete(st, seqOpenKey(sd.class))
+			delete(st, seqValidKey(sd.class))
+		}
+		return st
+	case "Add", "Swap":
+		// Parity after an Add/Swap is untracked; conservatively close.
+		st = st.clone()
+		delete(st, seqOpenKey(sd.class))
+		delete(st, seqValidKey(sd.class))
+		return st
+	}
+	// Load/CompareAndSwap in statement position carry no state on their
+	// own; their effect comes from the conditions they appear in.
+	return st
+}
+
+// seqGrant is one pseudo-lock granted by a branch condition.
+type seqGrant struct {
+	key string
+	l   heldLock
+}
+
+// applyCondGrants applies the seqlock facts a condition proves to the
+// branch states derived from it (either may be nil).
+func (g *guardPass) applyCondGrants(cond ast.Expr, trueSt, falseSt lockSet) {
+	tg, fg := g.condGrants(cond)
+	for _, gr := range tg {
+		if trueSt != nil {
+			trueSt[gr.key] = gr.l
+		}
+	}
+	for _, gr := range fg {
+		if falseSt != nil {
+			falseSt[gr.key] = gr.l
+		}
+	}
+}
+
+// condGrants computes which seqlock states hold on the true and false
+// outcomes of a boolean condition:
+//
+//   - s.stamp.CompareAndSwap(old, new): the true branch owns the window.
+//   - s.stamp.Load() == <even expr>: the true branch is validated;
+//     != swaps the branches. Comparisons against odd or unknown-parity
+//     values prove nothing.
+//   - !cond swaps, && propagates true-grants, || propagates false-grants.
+func (g *guardPass) condGrants(cond ast.Expr) (tg, fg []seqGrant) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			fg, tg = g.condGrants(e.X)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			// Both conjuncts are true on the true branch; the false branch
+			// pinpoints neither.
+			xt, _ := g.condGrants(e.X)
+			yt, _ := g.condGrants(e.Y)
+			tg = append(xt, yt...)
+		case token.LOR:
+			_, xf := g.condGrants(e.X)
+			_, yf := g.condGrants(e.Y)
+			fg = append(xf, yf...)
+		case token.EQL, token.NEQ:
+			sd, other := g.stampCompare(e)
+			if sd == nil || g.parityOf(other) != 0 {
+				return nil, nil
+			}
+			grant := []seqGrant{{key: seqValidKey(sd.class), l: heldLock{pos: e.Pos(), reader: true, class: sd.class}}}
+			if e.Op == token.EQL {
+				tg = grant
+			} else {
+				fg = grant
+			}
+		}
+	case *ast.CallExpr:
+		if sd, method := g.stampMethod(e); sd != nil && method == "CompareAndSwap" {
+			tg = []seqGrant{{key: seqOpenKey(sd.class), l: heldLock{pos: e.Pos(), class: sd.class}}}
+		}
+	}
+	return tg, fg
+}
+
+// stampMethod resolves a call to a sync/atomic method on a //lint:seqlock
+// stamp field.
+func (g *guardPass) stampMethod(c *ast.CallExpr) (*seqlockDecl, string) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeOf(g.pkg.Info, c)
+	if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	return g.tbl.stampFor(g.pkg.Info, inner), sel.Sel.Name
+}
+
+// stampCompare matches one side of an ==/!= against a stamp Load (or a
+// local snapshot of one is out of scope — the comparison must read the
+// stamp directly) and returns the other side.
+func (g *guardPass) stampCompare(e *ast.BinaryExpr) (*seqlockDecl, ast.Expr) {
+	for _, side := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		if c, ok := ast.Unparen(side[0]).(*ast.CallExpr); ok {
+			if sd, method := g.stampMethod(c); sd != nil && method == "Load" {
+				return sd, side[1]
+			}
+		}
+	}
+	return nil, nil
+}
+
+// parityOf statically evaluates an integer expression's parity: 0 even,
+// 1 odd, -1 unknown. Constants fold through go/types; +,-,^,*,&,|,<<
+// propagate parity algebraically; a call to a single-return module
+// function evaluates through its body (writeStamp(p)=2p+1 is odd,
+// doneStamp(p)=2p+2 is even).
+func (g *guardPass) parityOf(e ast.Expr) int {
+	return parityIn(g.prog, g.pkg, e, 0)
+}
+
+func parityIn(p *Program, pkg *Package, e ast.Expr, depth int) int {
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			return int(v & 1)
+		}
+		return -1
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		l := parityIn(p, pkg, e.X, depth)
+		r := parityIn(p, pkg, e.Y, depth)
+		switch e.Op {
+		case token.ADD, token.SUB, token.XOR:
+			if l >= 0 && r >= 0 {
+				return l ^ r
+			}
+		case token.MUL, token.AND:
+			if l == 0 || r == 0 {
+				return 0
+			}
+			if l == 1 && r == 1 {
+				return 1
+			}
+		case token.OR:
+			if l == 1 || r == 1 {
+				return 1
+			}
+			if l == 0 && r == 0 {
+				return 0
+			}
+		case token.SHL:
+			if r == -1 {
+				return -1
+			}
+			// x << k: even for any k >= 1; equal to x for k == 0. The
+			// shift amount's own value (not parity) decides, so only fold
+			// the constant case.
+			if tv, ok := pkg.Info.Types[ast.Unparen(e.Y)]; ok && tv.Value != nil {
+				if k, exact := constant.Int64Val(tv.Value); exact {
+					if k >= 1 {
+						return 0
+					}
+					return l
+				}
+			}
+		}
+		return -1
+	case *ast.CallExpr:
+		if depth >= 4 {
+			return -1
+		}
+		fn := calleeOf(pkg.Info, e)
+		if fn == nil {
+			return -1
+		}
+		src := p.funcSources()[fn]
+		if src == nil || src.decl.Body == nil || len(src.decl.Body.List) != 1 {
+			return -1
+		}
+		ret, ok := src.decl.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return -1
+		}
+		return parityIn(p, src.pkg, ret.Results[0], depth+1)
+	}
+	return -1
+}

@@ -6,6 +6,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The facts engine: one pass over every loaded function body collects the
@@ -71,9 +72,13 @@ type funcFacts struct {
 }
 
 // engine owns the call graph and the fixpoint summaries for one Program.
+// After the build, facts are read-only; mu protects the implsOf/namedTypes
+// memoization, the one mutable path reachable from the parallel
+// per-package flows (forEachPackage).
 type engine struct {
 	p     *Program
 	facts map[*types.Func]*funcFacts
+	mu    sync.Mutex
 	impls map[*types.Func][]*types.Func
 	named []*types.Named
 }

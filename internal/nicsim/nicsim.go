@@ -136,10 +136,10 @@ type Node struct {
 	// next to the channel send it annotates.
 	burstSizes metrics.Histogram
 
-	procs atomic.Pointer[procMap]
+	procs atomic.Pointer[procMap] //lint:guardedby atomic
 
 	mu     sync.Mutex // guards copy-on-write of procs, and closed
-	closed bool
+	closed bool       //lint:guardedby mu
 
 	lanes []*lane
 	wg    sync.WaitGroup
@@ -570,7 +570,7 @@ func (n *Node) stopLanes() {
 // lock on the per-message path: state packs (in-flight count << 1) |
 // closed-bit.
 type dispatchGate struct {
-	state atomic.Int64
+	state atomic.Int64 //lint:guardedby atomic
 }
 
 func (g *dispatchGate) enter() bool {

@@ -102,6 +102,10 @@ type Entry struct {
 	Stage Stage
 }
 
+// slot pairs a record with its seqlock stamp (see the package comment for
+// the protocol).
+//
+//lint:seqlock stamp
 type slot struct {
 	stamp atomic.Uint64
 	rec   Entry

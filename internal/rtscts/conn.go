@@ -60,13 +60,13 @@ func (c Config) withDefaults() Config {
 // (nanoseconds) — every field here is sync/atomic or composed of them, so
 // bumping stats never serializes delivery goroutines.
 type Stats struct {
-	Retransmits   atomic.Int64
-	DupsDiscarded atomic.Int64
-	OutOfOrder    atomic.Int64
-	RTSSent       atomic.Int64
-	CTSSent       atomic.Int64
-	AcksSent      atomic.Int64
-	MsgsDelivered atomic.Int64
+	Retransmits   atomic.Int64 //lint:guardedby atomic
+	DupsDiscarded atomic.Int64 //lint:guardedby atomic
+	OutOfOrder    atomic.Int64 //lint:guardedby atomic
+	RTSSent       atomic.Int64 //lint:guardedby atomic
+	CTSSent       atomic.Int64 //lint:guardedby atomic
+	AcksSent      atomic.Int64 //lint:guardedby atomic
+	MsgsDelivered atomic.Int64 //lint:guardedby atomic
 	Backoff       metrics.Histogram
 }
 
@@ -80,9 +80,9 @@ type Conn struct {
 	stats   Stats
 
 	mu        sync.Mutex
-	senders   map[types.NID]*peerSender
-	receivers map[types.NID]*peerReceiver
-	closed    bool
+	senders   map[types.NID]*peerSender   //lint:guardedby mu
+	receivers map[types.NID]*peerReceiver //lint:guardedby mu
+	closed    bool                        //lint:guardedby mu
 }
 
 // Attach registers nid on the fabric with reliability on top. The handler

@@ -11,15 +11,15 @@ import (
 // expected sequence number and the current message reassembly.
 type peerReceiver struct {
 	mu       sync.Mutex
-	expected uint64
+	expected uint64 //lint:guardedby mu
 
 	// Reassembly of the in-progress message. Fragments of one message are
 	// contiguous on the stream (the sender serializes them), so a single
 	// buffer suffices.
-	asmKind  uint8
-	asmTotal uint64
-	asmBuf   []byte
-	asmOpen  bool
+	asmKind  uint8  //lint:guardedby mu
+	asmTotal uint64 //lint:guardedby mu
+	asmBuf   []byte //lint:guardedby mu
+	asmOpen  bool   //lint:guardedby mu
 }
 
 // onData processes one sequenced fragment per Go-Back-N: accept exactly

@@ -20,8 +20,8 @@ type peerSender struct {
 	// blocks (local completion = accepted here).
 	qmu    sync.Mutex
 	qcond  *sync.Cond
-	queue  [][]byte
-	closed bool
+	queue  [][]byte //lint:guardedby qmu
+	closed bool     //lint:guardedby qmu
 
 	// txMu serializes fragment emission so fragments of different
 	// messages never interleave on the stream (the receiver reassembles
@@ -39,10 +39,10 @@ type peerSender struct {
 	// Window state, guarded by wmu.
 	wmu      sync.Mutex
 	wcond    *sync.Cond
-	nextSeq  uint64
-	base     uint64   // lowest unacked sequence
-	inFlight [][]byte // encoded packets [base, nextSeq), for retransmission
-	lastSend time.Time
+	nextSeq  uint64    //lint:guardedby wmu
+	base     uint64    //lint:guardedby wmu  lowest unacked sequence
+	inFlight [][]byte  //lint:guardedby wmu  encoded packets [base, nextSeq), for retransmission
+	lastSend time.Time //lint:guardedby wmu
 
 	// Rendezvous: grants arrive from the receive path.
 	ctsCh chan struct{}

@@ -35,17 +35,17 @@ type Network struct {
 	stats Stats
 
 	mu     sync.Mutex
-	addrs  map[types.NID]string
-	listen map[types.NID]string
-	eps    map[types.NID]*endpoint
-	closed bool
+	addrs  map[types.NID]string    //lint:guardedby mu
+	listen map[types.NID]string    //lint:guardedby mu
+	eps    map[types.NID]*endpoint //lint:guardedby mu
+	closed bool                    //lint:guardedby mu
 }
 
 // Stats counts fabric-level events; all fields are atomics.
 type Stats struct {
-	Sent      atomic.Int64 // frames written to a socket
-	Delivered atomic.Int64 // frames handed to a handler
-	Redials   atomic.Int64 // cached connections dropped after a write error
+	Sent      atomic.Int64 //lint:guardedby atomic  frames written to a socket
+	Delivered atomic.Int64 //lint:guardedby atomic  frames handed to a handler
+	Redials   atomic.Int64 //lint:guardedby atomic  cached connections dropped after a write error
 }
 
 // Stats exposes the fabric counters.
@@ -73,10 +73,12 @@ func New() *Network {
 // listenAddr, and peers maps every remote NID to its address.
 func NewStatic(localNID types.NID, listenAddr string, peers map[types.NID]string) *Network {
 	n := New()
+	n.mu.Lock()
 	n.listen[localNID] = listenAddr
 	for nid, addr := range peers {
 		n.addrs[nid] = addr
 	}
+	n.mu.Unlock()
 	return n
 }
 
@@ -170,9 +172,9 @@ type endpoint struct {
 	ln      net.Listener
 
 	mu      sync.Mutex
-	conns   map[types.NID]*sendConn
-	inbound map[net.Conn]struct{}
-	closed  bool
+	conns   map[types.NID]*sendConn //lint:guardedby mu
+	inbound map[net.Conn]struct{}   //lint:guardedby mu
+	closed  bool                    //lint:guardedby mu
 	wg      sync.WaitGroup
 }
 
