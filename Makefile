@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-sarif lint-baseline test race short bench sweep examples ci clean trace-smoke
+.PHONY: all build lint lint-sarif lint-baseline test race short bench bench-smoke sweep examples ci clean trace-smoke
 
 all: build lint test
 
@@ -43,11 +43,25 @@ race:
 # bench runs the full suite and leaves a machine-readable summary in
 # BENCH_baseline.json (cmd/benchjson) for diffing across changes. BENCHCPUS
 # selects the -cpu variants; each result's GOMAXPROCS lands in the summary's
-# "cpus" field (names carry the usual "-N" suffix when N > 1).
+# "cpus" field (names carry the usual "-N" suffix when N > 1). Set
+# BENCHLABEL to additionally write the run as BENCH_<label>.json; BENCHMIN
+# fails the target when fewer results parse (guards against a typo'd
+# pattern or a swallowed build failure producing an empty artifact).
 BENCHCPUS ?= 1,4
+BENCHMIN ?= 1
+BENCHLABEL ?=
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . ./internal/obs/trace | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
+		$(GO) run ./cmd/benchjson -o BENCH_baseline.json -min-results $(BENCHMIN) $(if $(BENCHLABEL),-label $(BENCHLABEL))
 	@echo "wrote BENCH_baseline.json"
+
+# bench-smoke is CI's quick variant: one iteration per fast-path benchmark,
+# streamed through cmd/benchjson so parse failures or an empty stream fail
+# the target.
+bench-smoke:
+	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady' \
+		-benchtime=1x -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
+		$(GO) run ./cmd/benchjson -label ci-smoke -min-results 20
 
 # trace-smoke exercises the observability subsystem end to end: a small
 # bypass run with the flight recorder and the metrics registry enabled,

@@ -27,6 +27,7 @@ import (
 	"repro/internal/nicsim"
 	"repro/internal/rtscts"
 	"repro/internal/stats"
+	"repro/internal/swarm"
 	"repro/internal/transport/loopback"
 	"repro/internal/transport/simnet"
 	"repro/internal/types"
@@ -627,6 +628,42 @@ func BenchmarkEagerThreshold(b *testing.B) {
 			}
 			b.SetBytes(msgSize)
 			b.ReportMetric(pt.MBps, "MB/s")
+		})
+	}
+}
+
+// --------------------------------------------------- swarm steady state --
+
+// BenchmarkSwarmSteady runs the internal/swarm closed-loop harness at two
+// endpoint counts. ns/op includes fabric setup (it builds the endpoints
+// inside the timed region — unavoidable, Run is one call); the ns/msg
+// metric is the steady-state per-message engine cost, and staying flat
+// between the two sub-benchmarks is the lock-free read-path regression
+// check CI's bench-smoke watches. cmd/swarm runs the full 1k→100k sweep.
+func BenchmarkSwarmSteady(b *testing.B) {
+	for _, ep := range []int{1024, 8192} {
+		b.Run(fmt.Sprintf("endpoints=%d", ep), func(b *testing.B) {
+			msgs := b.N
+			if msgs < 256 {
+				msgs = 256
+			}
+			rep, err := swarm.Run(swarm.Config{
+				Endpoints:      ep,
+				MEsPerEndpoint: 4,
+				Nodes:          8,
+				Drivers:        1,
+				Messages:       msgs,
+				PayloadBytes:   64,
+				Seed:           1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Acked != rep.Sent {
+				b.Fatalf("acked %d of %d sent", rep.Acked, rep.Sent)
+			}
+			b.ReportMetric(rep.NsPerMsg, "ns/msg")
+			b.ReportMetric(float64(rep.P99), "p99-ns")
 		})
 	}
 }

@@ -1,176 +1,54 @@
 // Command benchjson converts a `go test -json -bench` event stream on
-// stdin into a machine-readable benchmark summary, so `make bench` leaves
-// a BENCH_baseline.json that tooling (and later PRs) can diff instead of
-// scraping console text.
+// stdin into a machine-readable benchmark summary (internal/benchfmt), so
+// `make bench` leaves a BENCH_baseline.json that tooling (and later PRs)
+// can diff instead of scraping console text.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem -run=NONE -json . | go run ./cmd/benchjson -o BENCH_baseline.json
+//	go test -bench=Swarm -run=NONE -json . | go run ./cmd/benchjson -label swarm -min-results 2
 //
-// With no -o the summary is written to stdout. Lines that are not test2json
-// events or not benchmark results are ignored, so the tool is safe to put
-// at the end of any test pipeline.
+// With no -o and no -label the summary is written to stdout. -label X
+// additionally writes BENCH_X.json next to the baseline artifact (and
+// stamps the summary's label field); -min-results N exits nonzero when
+// fewer than N benchmark lines parsed, so an empty or truncated bench
+// stream fails the pipeline instead of producing a quietly empty artifact.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"regexp"
-	"runtime"
-	"strconv"
-	"strings"
-	"time"
+
+	"repro/internal/benchfmt"
 )
 
-// event is the subset of test2json's output record we need.
-type event struct {
-	Action  string `json:"Action"`
-	Package string `json:"Package"`
-	Output  string `json:"Output"`
-}
-
-// Result is one benchmark line, parsed.
-type Result struct {
-	Name       string             `json:"name"`
-	Package    string             `json:"package,omitempty"`
-	Cpus       int                `json:"cpus,omitempty"` // GOMAXPROCS suffix ("-8"); 1 when absent
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, MB/s, custom
-}
-
-// Summary is the whole file.
-type Summary struct {
-	Generated string            `json:"generated"` // RFC 3339
-	Env       map[string]string `json:"env,omitempty"`
-	Results   []Result          `json:"results"`
-}
-
-// benchLine matches "BenchmarkFoo/sub-8   123  456 ns/op  0 B/op ...".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
-
-// envLine matches the "goos: linux" style preamble go test prints.
-var envLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s+(.*)$`)
-
-// cpuSuffix matches the "-8" GOMAXPROCS suffix the testing package appends
-// to benchmark names whenever the run's GOMAXPROCS is not 1 (so `-cpu=1,4`
-// runs show up as "BenchmarkFoo" and "BenchmarkFoo-4").
-var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
-
-func parse(r io.Reader) (*Summary, error) {
-	s := &Summary{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		// gomaxprocs is the host default (benchjson runs on the same machine
-		// as the benchmarks); per-result Cpus records each -cpu variant.
-		Env:     map[string]string{"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0))},
-		Results: []Result{},
-	}
-	pkgVals := map[string]bool{}
-	handleLine := func(pkg, line string) {
-		line = strings.TrimSpace(line)
-		if m := envLine.FindStringSubmatch(line); m != nil {
-			if m[1] == "pkg" {
-				pkgVals[m[2]] = true
-			}
-			s.Env[m[1]] = m[2]
-			return
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			return
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			return
-		}
-		res := Result{Name: m[1], Package: pkg, Cpus: 1, Iterations: iters}
-		if sm := cpuSuffix.FindStringSubmatch(res.Name); sm != nil {
-			if n, err := strconv.Atoi(sm[1]); err == nil && n > 1 {
-				res.Cpus = n
-			}
-		}
-		// The tail is pairs: "<value> <unit>".
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			if fields[i+1] == "ns/op" {
-				res.NsPerOp = v
-				continue
-			}
-			if res.Metrics == nil {
-				res.Metrics = map[string]float64{}
-			}
-			res.Metrics[fields[i+1]] = v
-		}
-		s.Results = append(s.Results, res)
-	}
-	// A benchmark's console line arrives as TWO output events — the name is
-	// flushed before the run, the timing after — so fragments must be
-	// reassembled into lines (per package) before matching.
-	partial := map[string]string{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		var ev event
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			continue // not a test2json event; skip
-		}
-		if ev.Action != "output" {
-			continue
-		}
-		buf := partial[ev.Package] + ev.Output
-		for {
-			nl := strings.IndexByte(buf, '\n')
-			if nl < 0 {
-				break
-			}
-			handleLine(ev.Package, buf[:nl])
-			buf = buf[nl+1:]
-		}
-		partial[ev.Package] = buf
-	}
-	for pkg, rest := range partial {
-		if rest != "" {
-			handleLine(pkg, rest)
-		}
-	}
-	// In a multi-package run ("go test -bench ... ./pkg1 ./pkg2") the "pkg:"
-	// preamble appears once per package; a single env key would silently
-	// keep whichever came last. Drop it — each Result carries its Package.
-	if len(pkgVals) > 1 {
-		delete(s.Env, "pkg")
-	}
-	return s, sc.Err()
-}
-
-func run(in io.Reader, outPath string) error {
-	s, err := parse(in)
+func run(out, label string, minResults int) error {
+	s, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
+	if err := s.CheckMin(minResults); err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if outPath == "" || outPath == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
+	s.Label = label
+	if label != "" {
+		if err := s.WriteFile(benchfmt.LabelPath("", label)); err != nil {
+			return err
+		}
+		if out == "" {
+			return nil // labeled artifact written; no stdout dump wanted
+		}
 	}
-	return os.WriteFile(outPath, data, 0o644)
+	return s.WriteFile(out)
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	label := flag.String("label", "", "also write the summary as BENCH_<label>.json")
+	minResults := flag.Int("min-results", 0, "fail unless at least this many benchmark results parsed")
 	flag.Parse()
-	if err := run(os.Stdin, *out); err != nil {
+	if err := run(*out, *label, *minResults); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

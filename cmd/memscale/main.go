@@ -6,23 +6,102 @@
 // Usage:
 //
 //	memscale [-credits 16] [-bufsize 32768] [-maxpeers 256]
+//	memscale -gc [-entries 1000000]
+//
+// -gc switches to the PR-7 storage comparison: it populates N match-entry
+// sized records first as individual heap allocations, then through the
+// chunked typed arena (internal/arena) the engine uses, and measures what
+// each layout costs the garbage collector — live heap objects and the wall
+// time of a forced collection. The arena packs thousands of records into
+// one allocation, so the collector traces chunks instead of a million
+// separate objects.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/arena"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
 	"repro/portals"
 )
 
+// gcEntry approximates the engine's matchEntry footprint: a few scalar
+// words plus pointer fields the collector must trace.
+type gcEntry struct {
+	matchBits, ignoreBits uint64
+	offset, length        uint64
+	next, prev            *gcEntry
+	buf                   []byte
+	gen                   uint32
+}
+
+// gcProbe builds a population of entries with build, then measures the
+// collector against it: live heap objects and the average wall time of a
+// forced GC (runtime.GC blocks until the cycle completes, so on a small
+// host its wall time is dominated by the mark phase over the live set).
+func gcProbe(build func(n int) []*gcEntry, n int) (objs uint64, gcWall time.Duration) {
+	runtime.GC() // settle: free the previous population before measuring
+	keep := build(n)
+	runtime.GC() // complete a cycle with the population live before timing
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	objs = ms.HeapObjects
+	const forced = 3
+	start := time.Now()
+	for i := 0; i < forced; i++ {
+		runtime.GC()
+	}
+	gcWall = time.Since(start) / forced
+	runtime.KeepAlive(keep)
+	return objs, gcWall
+}
+
+func runGC(entries int) {
+	heapBuild := func(n int) []*gcEntry {
+		s := make([]*gcEntry, n)
+		for i := range s {
+			s[i] = &gcEntry{gen: uint32(i)}
+		}
+		return s
+	}
+	arenaBuild := func(n int) []*gcEntry {
+		var a arena.Arena[gcEntry]
+		s := make([]*gcEntry, n)
+		for i := range s {
+			e := a.Get()
+			e.gen = uint32(i)
+			s[i] = e
+		}
+		return s
+	}
+	fmt.Printf("# GC cost of %d live match-entry records, per storage layout (PR 7, docs/PERF.md §7)\n", entries)
+	fmt.Printf("%-10s %-14s %-14s\n", "layout", "heap-objects", "forced-gc")
+	ho, hg := gcProbe(heapBuild, entries)
+	fmt.Printf("%-10s %-14d %-14v\n", "heap", ho, hg.Round(time.Microsecond))
+	ao, ag := gcProbe(arenaBuild, entries)
+	fmt.Printf("%-10s %-14d %-14v\n", "arena", ao, ag.Round(time.Microsecond))
+	if ao > 0 && ho > ao {
+		fmt.Printf("# arena layout carries %.3f%% of the heap's object count\n", 100*float64(ao)/float64(ho))
+	}
+}
+
 func main() {
 	credits := flag.Int("credits", 16, "pre-posted receive buffers per VIA connection")
 	bufSize := flag.Int("bufsize", 32*1024, "VIA eager buffer size in bytes")
 	maxPeers := flag.Int("maxpeers", 256, "largest peer count to measure")
+	gcMode := flag.Bool("gc", false, "measure GC cost of arena vs per-object match-entry storage")
+	entries := flag.Int("entries", 1_000_000, "live records for the -gc comparison")
 	flag.Parse()
+
+	if *gcMode {
+		runGC(*entries)
+		return
+	}
 
 	fmt.Printf("# Unexpected-message memory vs peers (E5, §4.1)\n")
 	fmt.Printf("# VIA model: %d credits × %d B per connection; Portals: application-sized pool\n",

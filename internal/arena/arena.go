@@ -1,0 +1,119 @@
+// Package arena provides chunked typed arenas for the resource records on
+// the million-endpoint path (docs/PERF.md §7): match entries and memory
+// descriptors live in a few large slabs instead of one heap object each,
+// so 10⁶ match entries cost the garbage collector a handful of spans to
+// track rather than a million individually-marked allocations.
+//
+// Entries have stable addresses for their whole lifetime (chunks are never
+// copied or freed), which is what lets internal/rcu publish raw pointers
+// to them. Reuse is the subtle part: an RCU reader may still hold a
+// pointer to an entry that was just released, so a released entry must not
+// be rewritten until every such reader is provably gone. The arena gets
+// that proof from a Gate (rcu.Guards.Quiescent): released entries park on
+// a limbo list and migrate to the free list only once a reader-free moment
+// has been observed after their release.
+package arena
+
+import "sync"
+
+// Gate reports whether a grace period has elapsed: true means no read-side
+// critical section that began before the gated entries were released is
+// still running. rcu.Guards implements it.
+type Gate interface {
+	Quiescent() bool
+}
+
+// firstChunk is the capacity of an arena's first chunk; each subsequent
+// chunk doubles. Small arenas (a process with a dozen match entries — the
+// common case at 10⁵ endpoints) stay at one 16-entry slab; a million-entry
+// arena reaches its size in ~17 chunk allocations.
+const firstChunk = 16
+
+// Arena is a typed arena with free-list reuse. All methods are safe for
+// concurrent use; the internal mutex is control-plane only (Get/Put run at
+// attach/unlink time, never per message).
+type Arena[T any] struct {
+	mu     sync.Mutex
+	chunks [][]T //lint:guardedby mu  slabs; entry addresses are stable forever
+	used   int   //lint:guardedby mu  entries handed out of the newest chunk
+	free   []*T  //lint:guardedby mu  reusable now
+	limbo  []*T  //lint:guardedby mu  released, awaiting a grace period
+	live   int   //lint:guardedby mu
+
+	// gate defers reuse until quiescent; nil means entries are reusable
+	// immediately (no concurrent readers exist by construction).
+	gate Gate
+}
+
+// New returns an arena whose released entries wait on gate before reuse.
+// gate may be nil when no lock-free reader can hold entry pointers.
+func New[T any](gate Gate) *Arena[T] {
+	return &Arena[T]{gate: gate}
+}
+
+// SetGate installs the reclamation gate; for arenas embedded in a larger
+// struct (core.State) that cannot call New.
+func (a *Arena[T]) SetGate(g Gate) {
+	a.mu.Lock()
+	a.gate = g
+	a.mu.Unlock()
+}
+
+// Get returns a zeroed entry. It reuses a free slot when one is
+// available, drains limbo first if a grace period has elapsed, and grows
+// the arena by one doubling chunk otherwise.
+func (a *Arena[T]) Get() *T {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.free) == 0 && len(a.limbo) > 0 && (a.gate == nil || a.gate.Quiescent()) {
+		// Every limbo entry was released before this quiescence
+		// observation, so no reader can still hold one: recycle them all.
+		a.free, a.limbo = a.limbo, a.free[:0]
+	}
+	a.live++
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		var zero T
+		*p = zero
+		return p
+	}
+	if len(a.chunks) == 0 || a.used == len(a.chunks[len(a.chunks)-1]) {
+		a.chunks = append(a.chunks, make([]T, firstChunk<<uint(len(a.chunks))))
+		a.used = 0
+	}
+	c := a.chunks[len(a.chunks)-1]
+	p := &c[a.used]
+	a.used++
+	return p
+}
+
+// Put releases an entry for eventual reuse. With a gate installed the
+// entry parks on the limbo list (a reader may still hold it); without one
+// it becomes immediately reusable. The caller must have made the entry
+// unreachable first — for rcu-published entries, by releasing its table
+// slot (generation bump) before Put.
+func (a *Arena[T]) Put(p *T) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.live--
+	if a.gate != nil {
+		//lint:ignore noalloc limbo push on entry release (teardown); the limbo list amortizes to arena occupancy
+		a.limbo = append(a.limbo, p)
+		return
+	}
+	//lint:ignore noalloc free-list push on entry release (teardown), as above
+	a.free = append(a.free, p)
+}
+
+// Stats reports the arena's footprint: entries allocated from the heap
+// across all chunks, and entries currently live (handed out, not Put).
+func (a *Arena[T]) Stats() (capacity, live int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range a.chunks {
+		capacity += len(c)
+	}
+	return capacity, a.live
+}

@@ -1,0 +1,195 @@
+// Package benchfmt parses `go test -json -bench` event streams into the
+// machine-readable benchmark summary written as BENCH_*.json artifacts.
+// cmd/benchjson is the CLI front end; cmd/swarm and tests use the package
+// directly to emit benchjson-compatible output without shelling out.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// event is the subset of test2json's output record we need.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Cpus       int                `json:"cpus,omitempty"` // GOMAXPROCS suffix ("-8"); 1 when absent
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, MB/s, custom
+}
+
+// Summary is the whole file.
+type Summary struct {
+	Generated string            `json:"generated"`       // RFC 3339
+	Label     string            `json:"label,omitempty"` // run label ("baseline", "swarm", a PR tag)
+	Env       map[string]string `json:"env,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+// New returns an empty summary stamped with the current time and the
+// host's GOMAXPROCS, ready for hand-built Results (the cmd/swarm path).
+func New() *Summary {
+	return &Summary{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Env:       map[string]string{"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0))},
+		Results:   []Result{},
+	}
+}
+
+// benchLine matches "BenchmarkFoo/sub-8   123  456 ns/op  0 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// envLine matches the "goos: linux" style preamble go test prints.
+var envLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s+(.*)$`)
+
+// cpuSuffix matches the "-8" GOMAXPROCS suffix the testing package appends
+// to benchmark names whenever the run's GOMAXPROCS is not 1 (so `-cpu=1,4`
+// runs show up as "BenchmarkFoo" and "BenchmarkFoo-4").
+var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Parse reads a `go test -json` event stream and collects every benchmark
+// result line. Lines that are not test2json events or not benchmark
+// results are ignored, so the parser is safe at the end of any test
+// pipeline.
+func Parse(r io.Reader) (*Summary, error) {
+	s := New()
+	// gomaxprocs (set by New) is the host default; per-result Cpus records
+	// each -cpu variant.
+	pkgVals := map[string]bool{}
+	handleLine := func(pkg, line string) {
+		line = strings.TrimSpace(line)
+		if m := envLine.FindStringSubmatch(line); m != nil {
+			if m[1] == "pkg" {
+				pkgVals[m[2]] = true
+			}
+			s.Env[m[1]] = m[2]
+			return
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return
+		}
+		res := Result{Name: m[1], Package: pkg, Cpus: 1, Iterations: iters}
+		if sm := cpuSuffix.FindStringSubmatch(res.Name); sm != nil {
+			if n, err := strconv.Atoi(sm[1]); err == nil && n > 1 {
+				res.Cpus = n
+			}
+		}
+		// The tail is pairs: "<value> <unit>".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		s.Results = append(s.Results, res)
+	}
+	// A benchmark's console line arrives as TWO output events — the name is
+	// flushed before the run, the timing after — so fragments must be
+	// reassembled into lines (per package) before matching.
+	partial := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // not a test2json event; skip
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			handleLine(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	for pkg, rest := range partial {
+		if rest != "" {
+			handleLine(pkg, rest)
+		}
+	}
+	// In a multi-package run ("go test -bench ... ./pkg1 ./pkg2") the "pkg:"
+	// preamble appears once per package; a single env key would silently
+	// keep whichever came last. Drop it — each Result carries its Package.
+	if len(pkgVals) > 1 {
+		delete(s.Env, "pkg")
+	}
+	return s, sc.Err()
+}
+
+// Encode renders the summary as indented JSON with a trailing newline.
+func (s *Summary) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the summary to path ("" or "-" means stdout).
+func (s *Summary) WriteFile(path string) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LabelPath returns the conventional artifact name for a labeled run:
+// BENCH_<label>.json in dir ("" for the current directory).
+func LabelPath(dir, label string) string {
+	name := "BENCH_" + label + ".json"
+	if dir == "" {
+		return name
+	}
+	return dir + string(os.PathSeparator) + name
+}
+
+// CheckMin returns an error if the summary holds fewer than min results —
+// the CI guard that turns a silently-empty bench pipeline (a typo'd -bench
+// regexp, a build failure swallowed by a pipe) into a hard failure.
+func (s *Summary) CheckMin(min int) error {
+	if len(s.Results) < min {
+		return fmt.Errorf("parsed %d benchmark results, want at least %d (empty or truncated bench stream?)", len(s.Results), min)
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-package main
+package benchfmt
 
 import (
 	"strings"
@@ -20,7 +20,7 @@ not even json
 `
 
 func TestParse(t *testing.T) {
-	s, err := parse(strings.NewReader(sample))
+	s, err := Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseNoCPUSuffix(t *testing.T) {
-	s, err := parse(strings.NewReader(
+	s, err := Parse(strings.NewReader(
 		`{"Action":"output","Package":"repro","Output":"BenchmarkDeliveryLanes/lanes=4/initiators=4 \t 1000\t 3287 ns/op\n"}`))
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func TestParseMultiPackageDropsPkgEnv(t *testing.T) {
 {"Action":"output","Package":"repro/internal/obs/trace","Output":"pkg: repro/internal/obs/trace\n"}
 {"Action":"output","Package":"repro/internal/obs/trace","Output":"BenchmarkTraceRecord/Enabled \t 200\t 60.0 ns/op\t 0 B/op\t 0 allocs/op\n"}
 `
-	s, err := parse(strings.NewReader(multi))
+	s, err := Parse(strings.NewReader(multi))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,31 @@ func TestParseMultiPackageDropsPkgEnv(t *testing.T) {
 }
 
 func TestParseIgnoresNonBench(t *testing.T) {
-	s, err := parse(strings.NewReader(`{"Action":"output","Output":"ok  \trepro\t0.5s\n"}`))
+	s, err := Parse(strings.NewReader(`{"Action":"output","Output":"ok  \trepro\t0.5s\n"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Results) != 0 {
 		t.Fatalf("unexpected results: %+v", s.Results)
+	}
+}
+
+func TestCheckMinAndLabelPath(t *testing.T) {
+	s, err := Parse(strings.NewReader(
+		`{"Action":"output","Package":"repro","Output":"BenchmarkSwarmSteady \t 10\t 1000 ns/op\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckMin(1); err != nil {
+		t.Fatalf("CheckMin(1) on one result: %v", err)
+	}
+	if err := s.CheckMin(2); err == nil {
+		t.Fatal("CheckMin(2) on one result did not fail")
+	}
+	if got := LabelPath("", "swarm"); got != "BENCH_swarm.json" {
+		t.Fatalf("LabelPath = %q", got)
+	}
+	if got := LabelPath("out", "x"); got != "out/BENCH_x.json" {
+		t.Fatalf("LabelPath with dir = %q", got)
 	}
 }

@@ -78,7 +78,7 @@ func TestMEAttachOrdering(t *testing.T) {
 
 // matchBitsOrder walks the portal's match list in order, for tests.
 func matchBitsOrder(s *State, ptl types.PtlIndex) []types.MatchBits {
-	p := s.table[ptl]
+	p := &s.table[ptl]
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var out []types.MatchBits

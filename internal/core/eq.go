@@ -16,7 +16,7 @@ func (s *State) EQAlloc(slots int) (types.Handle, error) {
 	}
 	s.resMu.Lock()
 	defer s.resMu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return types.InvalidHandle, types.ErrClosed
 	}
 	return s.eqs.alloc(eventq.New(slots))
@@ -40,9 +40,12 @@ func (s *State) EQFree(h types.Handle) error {
 }
 
 // eqRes returns the queue for a handle, nil if the handle is invalid or
-// stale. Caller holds resMu.
+// stale — atomic loads only, no locks, so it is safe on the per-message
+// path with any lock held. Queues are ordinary heap objects (never arena
+// recycled), so no pins window is needed: a stale handle simply misses,
+// and §4.8 says an event for a vanished queue is dropped.
 //
-//lint:requires State.resMu
+//lint:noalloc event-queue resolution runs per delivered message
 func (s *State) eqRes(h types.Handle) *eventq.Queue {
 	if !h.IsValid() {
 		return nil
@@ -54,13 +57,13 @@ func (s *State) eqRes(h types.Handle) *eventq.Queue {
 	return q
 }
 
-// eqFor resolves a handle to its queue, taking resMu itself. Safe to call
-// with a portal lock or bindMu held (portal.mu/bindMu → resMu order).
+// eqFor resolves a handle to its queue. Retained as the historical name
+// for call sites outside the resource files; identical to eqRes now that
+// resolution is lock-free.
+//
+//lint:noalloc alias of eqRes on the delivery path
 func (s *State) eqFor(h types.Handle) *eventq.Queue {
-	s.resMu.Lock()
-	q := s.eqRes(h)
-	s.resMu.Unlock()
-	return q
+	return s.eqRes(h)
 }
 
 // lookupEQ resolves a handle to its queue or an error.

@@ -94,7 +94,7 @@ func checkIndexCoherent(t *testing.T, p *portal) {
 // and fails on any disagreement.
 func diffTranslate(t *testing.T, s *State, h *wire.Header, want types.MDOptions) {
 	t.Helper()
-	p := s.table[h.PtlIndex]
+	p := &s.table[h.PtlIndex]
 	p.mu.Lock()
 	d1, off1, ml1, r1 := s.translate(p, h, want)
 	d2, off2, ml2, r2 := s.translateReference(p, h, want)
@@ -200,8 +200,8 @@ func TestTranslateIndexedMatchesReference(t *testing.T) {
 				diffTranslate(t, s, &h, want)
 				s.HandleIncoming(&h, payload)
 			}
-			checkIndexCoherent(t, s.table[0])
-			checkIndexCoherent(t, s.table[1])
+			checkIndexCoherent(t, &s.table[0])
+			checkIndexCoherent(t, &s.table[1])
 		}
 	}
 }
@@ -222,7 +222,7 @@ func TestMEInsertRenumber(t *testing.T) {
 		if _, err := s.MEInsert(ref, any, types.MatchBits(i), 0, types.Retain, types.Before); err != nil {
 			t.Fatal(err)
 		}
-		checkIndexCoherent(t, s.table[0])
+		checkIndexCoherent(t, &s.table[0])
 	}
 	got := matchBitsOrder(s, 0)
 	if len(got) != n+1 {
@@ -287,5 +287,5 @@ func TestUnlinkUnderTraffic(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	checkIndexCoherent(t, s.table[0])
+	checkIndexCoherent(t, &s.table[0])
 }

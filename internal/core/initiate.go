@@ -10,17 +10,15 @@ import (
 	"repro/internal/wire"
 )
 
-// lookupMDOpen resolves an initiator-side descriptor handle, failing if
-// the state is closed. The caller must take d.owner and re-check
-// d.unlinked before using the descriptor.
+// lookupMDOpen resolves an initiator-side descriptor handle with atomic
+// loads only, failing if the state is closed. The caller must bracket the
+// call in a pins window, take d.owner, and re-check d.unlinked before
+// using the descriptor (docs/PERF.md §7).
 func (s *State) lookupMDOpen(md types.Handle) (*memDesc, error) {
-	s.resMu.Lock()
-	if s.closed {
-		s.resMu.Unlock()
+	if s.closed.Load() {
 		return nil, types.ErrClosed
 	}
 	d, ok := s.mds.lookup(md)
-	s.resMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
 	}
@@ -35,13 +33,17 @@ func (s *State) lookupMDOpen(md types.Handle) (*memDesc, error) {
 func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
+	pin := s.pins.Enter(uint64(md.Index))
 	d, err := s.lookupMDOpen(md)
 	if err != nil {
+		s.pins.Exit(pin)
 		return Outbound{}, err
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
 	}
 	if !d.active() {
@@ -88,13 +90,17 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 func (s *State) StartGet(md types.Handle, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
+	pin := s.pins.Enter(uint64(md.Index))
 	d, err := s.lookupMDOpen(md)
 	if err != nil {
+		s.pins.Exit(pin)
 		return Outbound{}, err
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
 	}
 	if !d.active() {

@@ -35,8 +35,14 @@ type MD struct {
 // memDesc is the internal state of an attached or bound descriptor. Its
 // mutable fields are guarded by owner: the owning portal's mutex for
 // attached descriptors, State.bindMu for free-floating (MDBind) ones. The
-// owner is fixed at creation, so recvAck/recvReply can resolve the handle
-// under resMu, drop resMu, take owner, and re-check unlinked.
+// owner is fixed before the descriptor is published to the handle table,
+// so recvAck/recvReply can resolve the handle lock-free (inside a pins
+// window), take owner, and re-check unlinked — the bridge protocol of
+// docs/PERF.md §7.
+//
+// Descriptors are arena-backed (State.mdArena): identity fields (handle
+// excepted) must be written before allocMD publishes the record, and
+// nothing may touch it after unlinkMD hands it back to the arena.
 type memDesc struct {
 	md          MD     //lint:guardedby owner,portal.mu,State.bindMu
 	view        ioView //lint:guardedby owner,portal.mu,State.bindMu
@@ -65,7 +71,7 @@ func (d *memDesc) consume() {
 }
 
 // validateMD checks the user-supplied descriptor. Caller holds resMu (the
-// event-queue handle is resolved against the table).
+// check must be atomic with the subsequent table write).
 //
 //lint:requires State.resMu
 func (s *State) validateMD(md MD) error {
@@ -89,12 +95,13 @@ func (s *State) validateMD(md MD) error {
 // allocMD validates the descriptor and reserves a handle slot, failing if
 // the state is closed. The caller holds d.owner — spelled as the full
 // aliasing alternation because MDAttach arrives under the portal lock and
-// MDBind under bindMu.
+// MDBind under bindMu. Publication makes the record visible to lock-free
+// readers: owner, me, and the other identity fields must already be set.
 //
 //lint:requires memDesc.owner/portal.mu/State.bindMu
 func (s *State) allocMD(d *memDesc) (types.Handle, error) {
 	s.resMu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.resMu.Unlock()
 		return types.InvalidHandle, types.ErrClosed
 	}
@@ -107,14 +114,13 @@ func (s *State) allocMD(d *memDesc) (types.Handle, error) {
 	return h, err
 }
 
-// lookupMD resolves a handle under resMu. The caller must take d.owner and
-// re-check d.unlinked before touching mutable state (the descriptor may be
-// unlinked — and its slot reused — between the lookup and the lock).
+// lookupMD resolves a handle with atomic loads only — no locks. The
+// descriptor may be unlinked (and on its way back to the arena) the
+// instant this returns, so the caller must bracket the call in a pins
+// window, take d.owner, and re-check d.unlinked before touching mutable
+// state (docs/PERF.md §7).
 func (s *State) lookupMD(h types.Handle) (*memDesc, bool) {
-	s.resMu.Lock()
-	d, ok := s.mds.lookup(h)
-	s.resMu.Unlock()
-	return d, ok
+	return s.mds.lookup(h)
 }
 
 // MDAttach creates a memory descriptor and appends it to the MD list of a
@@ -122,19 +128,30 @@ func (s *State) lookupMD(h types.Handle) (*memDesc, bool) {
 // threshold unlinks the descriptor (Figure 4's unlink step) or leaves it
 // inactive but linked.
 func (s *State) MDAttach(me types.Handle, md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
+	pin := s.pins.Enter(uint64(me.Index))
 	entry, ok := s.lookupME(me)
 	if !ok {
+		s.pins.Exit(pin)
 		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, me)
 	}
-	p := s.table[entry.ptlIndex]
+	p := &s.table[entry.ptlIndex]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if entry.unlinked {
+	gone := entry.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, me)
 	}
-	d := &memDesc{md: md, view: viewOf(&md), me: entry, owner: &p.mu, unlinkOp: unlinkOp, threshold: md.Threshold}
+	d := s.mdArena.Get()
+	d.md = md
+	d.view = viewOf(&md)
+	d.me = entry
+	d.owner = &p.mu
+	d.unlinkOp = unlinkOp
+	d.threshold = md.Threshold
 	h, err := s.allocMD(d)
 	if err != nil {
+		s.mdArena.Put(d)
 		return types.InvalidHandle, err
 	}
 	d.handle = h
@@ -150,9 +167,15 @@ func (s *State) MDAttach(me types.Handle, md MD, unlinkOp types.UnlinkOption) (t
 func (s *State) MDBind(md MD, unlinkOp types.UnlinkOption) (types.Handle, error) {
 	s.bindMu.Lock()
 	defer s.bindMu.Unlock()
-	d := &memDesc{md: md, view: viewOf(&md), owner: &s.bindMu, unlinkOp: unlinkOp, threshold: md.Threshold}
+	d := s.mdArena.Get()
+	d.md = md
+	d.view = viewOf(&md)
+	d.owner = &s.bindMu
+	d.unlinkOp = unlinkOp
+	d.threshold = md.Threshold
 	h, err := s.allocMD(d)
 	if err != nil {
+		s.mdArena.Put(d)
 		return types.InvalidHandle, err
 	}
 	d.handle = h
@@ -163,13 +186,17 @@ func (s *State) MDBind(md MD, unlinkOp types.UnlinkOption) (types.Handle, error)
 // the descriptor has operations in flight — §4.7: "the memory descriptor
 // must not be unlinked until the reply is received".
 func (s *State) MDUnlink(h types.Handle) error {
+	pin := s.pins.Enter(uint64(h.Index))
 	d, ok := s.lookupMD(h)
 	if !ok {
+		s.pins.Exit(pin)
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	if d.pending > 0 {
@@ -185,13 +212,17 @@ func (s *State) MDUnlink(h types.Handle) error {
 // the caller can first drain them — this is the primitive MPI uses to
 // safely shrink/repoint receive buffers.
 func (s *State) MDUpdate(h types.Handle, newMD MD, testEQ types.Handle) error {
+	pin := s.pins.Enter(uint64(h.Index))
 	d, ok := s.lookupMD(h)
 	if !ok {
+		s.pins.Exit(pin)
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	s.resMu.Lock()
@@ -221,13 +252,17 @@ func (s *State) MDUpdate(h types.Handle, newMD MD, testEQ types.Handle) error {
 // MDStatus reports a descriptor's remaining threshold and local offset;
 // tests and higher layers use it to observe consumption.
 func (s *State) MDStatus(h types.Handle) (threshold int32, localOffset uint64, err error) {
+	pin := s.pins.Enter(uint64(h.Index))
 	d, ok := s.lookupMD(h)
 	if !ok {
+		s.pins.Exit(pin)
 		return 0, 0, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return 0, 0, fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	return d.threshold, d.localOffset, nil
@@ -238,7 +273,10 @@ func (s *State) MDStatus(h types.Handle) (threshold int32, localOffset uint64, e
 // auto-unlink. When byEngine is true an unlink event is posted.
 //
 // The caller holds d.owner (which for attached descriptors IS the portal
-// lock the cascade needs) and must NOT hold resMu.
+// lock the cascade needs) and must NOT hold resMu. Everything the unlink
+// event needs is captured into locals BEFORE the slot is released: from
+// the release on, stale handles miss, and once the record reaches the
+// arena it may eventually be rewritten — Put is the last use of d.
 //
 //lint:requires memDesc.owner/portal.mu
 func (s *State) unlinkMD(d *memDesc, byEngine bool) {
@@ -258,21 +296,21 @@ func (s *State) unlinkMD(d *memDesc, byEngine bool) {
 		// the memory descriptor list, the match entry will also be
 		// unlinked if its unlink flag has been set."
 		if len(me.mds) == 0 && me.unlink == types.Unlink {
-			s.unlinkME(s.table[me.ptlIndex], me)
+			s.unlinkME(&s.table[me.ptlIndex], me)
 		}
 	}
-	var q *eventq.Queue
+	h, userPtr, eqh := d.handle, d.md.UserPtr, d.md.EQ
 	s.resMu.Lock()
-	if byEngine {
-		q = s.eqRes(d.md.EQ)
-	}
-	s.mds.release(d.handle)
+	s.mds.release(h)
 	s.resMu.Unlock()
-	if q != nil {
-		q.Post(eventq.Event{
-			Type:    types.EventUnlink,
-			MD:      d.handle,
-			UserPtr: d.md.UserPtr,
-		})
+	s.mdArena.Put(d)
+	if byEngine {
+		if q := s.eqRes(eqh); q != nil {
+			q.Post(eventq.Event{
+				Type:    types.EventUnlink,
+				MD:      h,
+				UserPtr: userPtr,
+			})
+		}
 	}
 }

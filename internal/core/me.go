@@ -13,6 +13,11 @@ import (
 // The entry doubles as a node of its portal's linked list and match index
 // (index.go); prev/next/seq and the mutable fields (mds, unlinked) are
 // guarded by the portal's mutex.
+//
+// Entries are arena-backed (State.meArena): the immutable identity fields
+// must be fully written before allocME publishes the entry to the rcu
+// table, and nothing may touch the entry after unlinkME returns it to the
+// arena.
 type matchEntry struct {
 	handle     types.Handle
 	ptlIndex   types.PtlIndex
@@ -22,6 +27,11 @@ type matchEntry struct {
 	unlink     types.UnlinkOption
 	mds        []*memDesc //lint:guardedby portal.mu,memDesc.owner
 	unlinked   bool       //lint:guardedby portal.mu,memDesc.owner
+
+	// mdsArr is the inline backing for mds: nearly every entry carries one
+	// or two descriptors, so the common case allocates nothing beyond the
+	// arena slot itself.
+	mdsArr [2]*memDesc //lint:guardedby portal.mu,memDesc.owner
 
 	prev, next *matchEntry //lint:guardedby portal.mu,memDesc.owner
 	seq        uint64      //lint:guardedby portal.mu,memDesc.owner  order key within the match list (index.go)
@@ -47,18 +57,19 @@ func (s *State) MEAttach(ptl types.PtlIndex, matchID types.ProcessID,
 		return types.InvalidHandle, fmt.Errorf("%w: portal index %d out of range [0,%d]",
 			types.ErrInvalidArgument, ptl, len(s.table)-1)
 	}
-	p := s.table[ptl]
+	p := &s.table[ptl]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	me := &matchEntry{
-		ptlIndex:   ptl,
-		matchID:    matchID,
-		matchBits:  matchBits,
-		ignoreBits: ignoreBits,
-		unlink:     unlink,
-	}
+	me := s.meArena.Get()
+	me.ptlIndex = ptl
+	me.matchID = matchID
+	me.matchBits = matchBits
+	me.ignoreBits = ignoreBits
+	me.unlink = unlink
+	me.mds = me.mdsArr[:0]
 	h, err := s.allocME(me)
 	if err != nil {
+		s.meArena.Put(me)
 		return types.InvalidHandle, err
 	}
 	me.handle = h
@@ -72,25 +83,30 @@ func (s *State) MEInsert(base types.Handle, matchID types.ProcessID,
 	matchBits, ignoreBits types.MatchBits, unlink types.UnlinkOption,
 	pos types.InsertPosition) (types.Handle, error) {
 
+	pin := s.pins.Enter(uint64(base.Index))
 	ref, ok := s.lookupME(base)
 	if !ok {
+		s.pins.Exit(pin)
 		return types.InvalidHandle, fmt.Errorf("%w: %v", types.ErrInvalidHandle, base)
 	}
-	p := s.table[ref.ptlIndex]
+	p := &s.table[ref.ptlIndex]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if ref.unlinked {
+	gone := ref.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return types.InvalidHandle, fmt.Errorf("%w: %v not in its match list", types.ErrInvalidHandle, base)
 	}
-	me := &matchEntry{
-		ptlIndex:   ref.ptlIndex,
-		matchID:    matchID,
-		matchBits:  matchBits,
-		ignoreBits: ignoreBits,
-		unlink:     unlink,
-	}
+	me := s.meArena.Get()
+	me.ptlIndex = ref.ptlIndex
+	me.matchID = matchID
+	me.matchBits = matchBits
+	me.ignoreBits = ignoreBits
+	me.unlink = unlink
+	me.mds = me.mdsArr[:0]
 	h, err := s.allocME(me)
 	if err != nil {
+		s.meArena.Put(me)
 		return types.InvalidHandle, err
 	}
 	me.handle = h
@@ -98,21 +114,23 @@ func (s *State) MEInsert(base types.Handle, matchID types.ProcessID,
 	return h, nil
 }
 
-// lookupME resolves a handle under resMu. The caller must take the owning
-// portal's lock and re-check me.unlinked before trusting the entry.
+// lookupME resolves a handle with atomic loads only — no locks. The entry
+// may be unlinked (and on its way back to the arena) the instant this
+// returns, so the caller must bracket the call in a pins window, take the
+// owning portal's lock, and re-check me.unlinked before trusting anything
+// mutable (the bridge protocol, docs/PERF.md §7).
 func (s *State) lookupME(h types.Handle) (*matchEntry, bool) {
-	s.resMu.Lock()
-	me, ok := s.mes.lookup(h)
-	s.resMu.Unlock()
-	return me, ok
+	return s.mes.lookup(h)
 }
 
 // allocME reserves a handle slot, failing if the state is closed. The
 // caller holds the portal lock (attach happens under it); resMu is taken
-// only for the table operation.
+// only for the table write. Publication makes the entry visible to
+// lock-free readers: every field a pinned reader may touch without the
+// portal lock must already be written.
 func (s *State) allocME(me *matchEntry) (types.Handle, error) {
 	s.resMu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.resMu.Unlock()
 		return types.InvalidHandle, types.ErrClosed
 	}
@@ -125,14 +143,18 @@ func (s *State) allocME(me *matchEntry) (types.Handle, error) {
 // handles of) any memory descriptors still attached; attached descriptors
 // are released as in PtlMEUnlink, which frees the whole chain.
 func (s *State) MEUnlink(h types.Handle) error {
+	pin := s.pins.Enter(uint64(h.Index))
 	me, ok := s.lookupME(h)
 	if !ok {
+		s.pins.Exit(pin)
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
-	p := s.table[me.ptlIndex]
+	p := &s.table[me.ptlIndex]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if me.unlinked {
+	gone := me.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		return fmt.Errorf("%w: %v", types.ErrInvalidHandle, h)
 	}
 	for _, md := range me.mds {
@@ -148,14 +170,21 @@ func (s *State) MEUnlink(h types.Handle) error {
 		s.mds.release(md.handle)
 	}
 	s.resMu.Unlock()
+	// Slots are released (stale handles miss); the records themselves may
+	// be recycled only after a grace period — Put parks them in limbo.
+	for _, md := range me.mds {
+		s.mdArena.Put(md)
+	}
 	me.mds = nil
 	s.unlinkME(p, me)
 	return nil
 }
 
-// unlinkME detaches the entry from its match list and index and frees its
-// slot. The caller holds p.mu — possibly as the aliased owner lock of an
-// attached descriptor (unlinkMD's cascade) — and must NOT hold resMu.
+// unlinkME detaches the entry from its match list and index, frees its
+// slot, and returns the record to the arena. The caller holds p.mu —
+// possibly as the aliased owner lock of an attached descriptor (unlinkMD's
+// cascade) — and must NOT hold resMu. The entry must not be touched after
+// this returns: Put is the last use.
 //
 //lint:requires portal.mu/memDesc.owner
 func (s *State) unlinkME(p *portal, me *matchEntry) {
@@ -164,9 +193,11 @@ func (s *State) unlinkME(p *portal, me *matchEntry) {
 	}
 	me.unlinked = true
 	p.detach(me)
+	h := me.handle
 	s.resMu.Lock()
-	s.mes.release(me.handle)
+	s.mes.release(h)
 	s.resMu.Unlock()
+	s.meArena.Put(me)
 }
 
 // MatchListLen reports the current length of the match list at a portal
@@ -175,7 +206,7 @@ func (s *State) MatchListLen(ptl types.PtlIndex) int {
 	if int(ptl) >= len(s.table) {
 		return 0
 	}
-	p := s.table[ptl]
+	p := &s.table[ptl]
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.count

@@ -15,10 +15,13 @@
 //
 // Locking (docs/PERF.md has the full story): delivery contends per portal
 // index, not globally. Each portal carries its own mutex; free-floating
-// (MDBind) descriptors share bindMu; the handle tables sit behind resMu.
-// The lock order is portal.mu or bindMu first, then resMu — resMu is a
-// leaf taken only for short table operations, and no code path ever holds
-// two portal locks or a portal lock together with bindMu.
+// (MDBind) descriptors share bindMu. Handle resolution is lock-free: the
+// tables are rcu.Tables, so readers resolve ME/MD/EQ handles with atomic
+// loads and generation checks, while writers serialize under resMu (which
+// also guards the closed flag) and publish each change atomically. Code
+// that resolves a handle and then needs the entry's mutable state brackets
+// the gap with a pins read-side window and re-checks unlinked under the
+// entry's owner lock — the bridge protocol of docs/PERF.md §7.
 package core
 
 import (
@@ -27,16 +30,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/acl"
+	"repro/internal/arena"
 	"repro/internal/eventq"
+	"repro/internal/rcu"
 	"repro/internal/stats"
 	"repro/internal/types"
 )
 
-// The delivery engine's lock hierarchy (docs/PERF.md §2), machine-checked
-// by portalsvet's lockorder check: every lock-acquisition edge in the
-// module must follow a declared path, and no path may hold two locks of
-// the same class (in particular, never two portal locks). memDesc.owner
-// aliases either a portal's mu or bindMu, so it sits at the same level.
+// The delivery engine's lock hierarchy (docs/PERF.md §2, §7),
+// machine-checked by portalsvet's lockorder check: every lock-acquisition
+// edge in the module must follow a declared path, and no path may hold two
+// locks of the same class (in particular, never two portal locks).
+// memDesc.owner aliases either a portal's mu or bindMu, so it sits at the
+// same level. The rcu table writer lock (Table.wmu) and the arena lock
+// (Arena.mu) are leaves below everything: they serialize one slot or
+// free-list update and call nothing.
 //
 //lint:lockrank portal.mu < State.resMu
 //lint:lockrank State.bindMu < State.resMu
@@ -44,6 +52,14 @@ import (
 //lint:lockrank portal.mu < Queue.mu
 //lint:lockrank memDesc.owner < Queue.mu
 //lint:lockrank portal.mu < List.mu
+//lint:lockrank State.resMu < Table.wmu
+//lint:lockrank portal.mu < Table.wmu
+//lint:lockrank State.bindMu < Table.wmu
+//lint:lockrank memDesc.owner < Table.wmu
+//lint:lockrank portal.mu < Arena.mu
+//lint:lockrank State.bindMu < Arena.mu
+//lint:lockrank memDesc.owner < Arena.mu
+//lint:lockrank State.resMu < Arena.mu
 
 // State holds everything Figure 3 depicts for one process: the portal
 // table, match entries, memory descriptors, event queues, and the ACL,
@@ -52,19 +68,37 @@ type State struct {
 	self   types.ProcessID
 	limits types.Limits
 
-	table []*portal // portal table: index → match list + match index
+	// table is the portal table: index → match list + match index. The
+	// portals are stored inline — one allocation for the whole table, and
+	// stable addresses for the per-portal locks.
+	table []portal
 
 	// bindMu is the owner lock for free-floating (MDBind) descriptors —
 	// the initiator-side analogue of a portal's delivery lock.
 	bindMu sync.Mutex
 
-	// resMu guards the handle tables and the closed flag. Lock order:
-	// portal.mu / bindMu before resMu, never the reverse.
-	resMu  sync.Mutex
-	mes    slotTable[*matchEntry]   //lint:guardedby resMu
-	mds    slotTable[*memDesc]      //lint:guardedby resMu
-	eqs    slotTable[*eventq.Queue] //lint:guardedby resMu
-	closed bool                     //lint:guardedby resMu
+	// resMu serializes resource-table writers (alloc/release) against each
+	// other and against Close. Readers never take it: lookups go through
+	// the rcu tables below. Lock order: portal.mu / bindMu before resMu.
+	resMu sync.Mutex
+	mes   slotTable[matchEntry]
+	mds   slotTable[memDesc]
+	eqs   slotTable[eventq.Queue]
+
+	// closed flips once, under resMu; hot paths read it with one atomic
+	// load (no lock).
+	closed atomic.Bool //lint:guardedby atomic
+
+	// pins delimits handle-resolution bridge windows (lookup → owner lock
+	// → unlinked re-check); the arenas defer entry reuse until no window
+	// that could hold a released entry remains open (docs/PERF.md §7).
+	pins rcu.Guards
+
+	// meArena/mdArena back the match-entry and descriptor records: a few
+	// chunked slabs instead of one GC-tracked heap object per entry, which
+	// is what keeps 10⁶ match entries from dominating GC scan time.
+	meArena arena.Arena[matchEntry]
+	mdArena arena.Arena[memDesc]
 
 	acl      *acl.List
 	counters *stats.Counters
@@ -94,16 +128,15 @@ func NewState(self types.ProcessID, limits types.Limits, list *acl.List, counter
 	s := &State{
 		self:     self,
 		limits:   limits,
-		table:    make([]*portal, limits.MaxPtlIndex+1),
+		table:    make([]portal, limits.MaxPtlIndex+1),
 		acl:      list,
 		counters: counters,
-	}
-	for i := range s.table {
-		s.table[i] = &portal{}
 	}
 	s.mes.init(types.KindME, limits.MaxMEs)
 	s.mds.init(types.KindMD, limits.MaxMDs)
 	s.eqs.init(types.KindEQ, limits.MaxEQs)
+	s.meArena.SetGate(&s.pins)
+	s.mdArena.SetGate(&s.pins)
 	return s
 }
 
@@ -119,15 +152,26 @@ func (s *State) Counters() *stats.Counters { return s.counters }
 // ACL exposes the access-control list for PtlACEntry.
 func (s *State) ACL() *acl.List { return s.acl }
 
+// ResourceStats reports live resource counts and the arena footprint
+// backing them (entries of heap capacity across all chunks) — the numbers
+// cmd/memscale and cmd/swarm use to show per-process state stays flat.
+func (s *State) ResourceStats() (mes, mds, eqs, meCap, mdCap int) {
+	meCap, _ = s.meArena.Stats()
+	mdCap, _ = s.mdArena.Stats()
+	return s.mes.tab.Count(), s.mds.tab.Count(), s.eqs.tab.Count(), meCap, mdCap
+}
+
 // Close tears down the state: all event queues are closed so waiters wake,
-// and every subsequent operation fails with ErrClosed.
+// and every subsequent operation fails with ErrClosed. resMu serializes
+// the flag flip against in-flight allocs, so no queue can be created after
+// the teardown snapshot.
 func (s *State) Close() {
 	s.resMu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.resMu.Unlock()
 		return
 	}
-	s.closed = true
+	s.closed.Store(true)
 	var queues []*eventq.Queue
 	s.eqs.each(func(q *eventq.Queue) { queues = append(queues, q) })
 	s.resMu.Unlock()
@@ -136,92 +180,62 @@ func (s *State) Close() {
 	}
 }
 
-// slot is one entry of a handle table; gen is bumped on every reuse so
-// stale handles are detected (§4.8 depends on detecting vanished MDs/EQs).
-type slot[T any] struct {
-	val  T
-	gen  uint32
-	live bool
-}
-
-// slotTable allocates fixed-size handle spaces for one object kind. All
-// access is under State.resMu.
+// slotTable adapts one rcu.Table to Portals handles for one object kind:
+// generation counters in the handle word preserve stale-handle detection
+// (§4.8 depends on detecting vanished MDs/EQs) while lookups run
+// lock-free. Writers are additionally serialized under State.resMu so
+// alloc/release compose atomically with the closed flag and with each
+// other across the three tables.
 type slotTable[T any] struct {
-	kind  types.HandleKind
-	slots []slot[T]
-	free  []uint32
-	count int
+	kind types.HandleKind
+	tab  rcu.Table[T]
 }
 
 func (t *slotTable[T]) init(kind types.HandleKind, max int) {
 	t.kind = kind
-	t.slots = make([]slot[T], 0, max)
+	t.tab.Init(max)
 }
 
-// alloc reserves a slot for v.
+// alloc reserves a slot for v. v must be fully constructed: publication
+// makes it visible to lock-free readers immediately. Fields written after
+// alloc may only be touched under the entry's owner lock.
 //
 //lint:requires State.resMu
-func (t *slotTable[T]) alloc(v T) (types.Handle, error) {
-	var idx uint32
-	if n := len(t.free); n > 0 {
-		idx = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.slots[idx].val = v
-		t.slots[idx].live = true
-	} else {
-		if len(t.slots) == cap(t.slots) {
-			return types.InvalidHandle, fmt.Errorf("%w: %s table full (%d)", types.ErrNoSpace, t.kind, cap(t.slots))
-		}
-		idx = uint32(len(t.slots))
-		t.slots = append(t.slots, slot[T]{val: v, live: true})
+func (t *slotTable[T]) alloc(v *T) (types.Handle, error) {
+	idx, gen, ok := t.tab.Alloc(v)
+	if !ok {
+		return types.InvalidHandle, fmt.Errorf("%w: %s table full (%d)", types.ErrNoSpace, t.kind, t.tab.Count())
 	}
-	t.count++
-	return types.Handle{Kind: t.kind, Index: idx, Gen: t.slots[idx].gen}, nil
+	return types.Handle{Kind: t.kind, Index: idx, Gen: gen}, nil
 }
 
-// lookup resolves a handle, verifying its generation.
+// lookup resolves a handle, verifying its generation — atomic loads only,
+// no locks (the read side of the §7 scheme).
 //
-//lint:requires State.resMu
-func (t *slotTable[T]) lookup(h types.Handle) (T, bool) {
-	var zero T
-	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
-		return zero, false
+//lint:noalloc handle resolution runs per message on the delivery path
+func (t *slotTable[T]) lookup(h types.Handle) (*T, bool) {
+	if h.Kind != t.kind {
+		return nil, false
 	}
-	sl := &t.slots[h.Index]
-	if !sl.live || sl.gen != h.Gen {
-		return zero, false
-	}
-	return sl.val, true
+	return t.tab.Lookup(h.Index, h.Gen)
 }
 
-// release frees a slot and bumps its generation.
+// release frees a slot and bumps its generation, so every stale handle
+// misses from this point on. Entry memory must not be reused until a
+// grace period has passed (the arenas' Gate handles this).
 //
 //lint:requires State.resMu
 func (t *slotTable[T]) release(h types.Handle) bool {
-	if h.Kind != t.kind || int(h.Index) >= len(t.slots) {
+	if h.Kind != t.kind {
 		return false
 	}
-	sl := &t.slots[h.Index]
-	if !sl.live || sl.gen != h.Gen {
-		return false
-	}
-	var zero T
-	sl.val = zero
-	sl.live = false
-	sl.gen++
-	//lint:ignore noalloc free-list push on handle release (teardown); the free list amortizes to table capacity
-	t.free = append(t.free, h.Index)
-	t.count--
-	return true
+	_, ok := t.tab.Release(h.Index, h.Gen)
+	return ok
 }
 
-// each visits every live entry.
+// each visits every live entry (control plane: teardown, experiments).
 //
 //lint:requires State.resMu
-func (t *slotTable[T]) each(f func(T)) {
-	for i := range t.slots {
-		if t.slots[i].live {
-			f(t.slots[i].val)
-		}
-	}
+func (t *slotTable[T]) each(f func(*T)) {
+	t.tab.Each(f)
 }

@@ -235,7 +235,7 @@ func (s *State) recvPut(h *wire.Header, payload []byte, out []Outbound) []Outbou
 		s.counters.Drop(types.DropBadPortal)
 		return out
 	}
-	p := s.table[h.PtlIndex]
+	p := &s.table[h.PtlIndex]
 	// One hoisted Enabled check per message keeps the disabled-tracer cost
 	// on this path to a single predicted branch.
 	traced := trace.Enabled()
@@ -281,7 +281,7 @@ func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
 		s.counters.Drop(types.DropBadPortal)
 		return out
 	}
-	p := s.table[h.PtlIndex]
+	p := &s.table[h.PtlIndex]
 	traced := trace.Enabled()
 	p.mu.Lock()
 	if traced {
@@ -325,14 +325,21 @@ func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
 // the event queue no longer exist, the message is simply discarded and the
 // dropped message count for the interface is incremented."
 func (s *State) recvAck(h *wire.Header) {
+	// Bridge from the lock-free handle lookup to the descriptor's owner
+	// lock (docs/PERF.md §7): the pins window keeps the record from being
+	// recycled until unlinked has been re-checked under the lock.
+	pin := s.pins.Enter(uint64(h.Initiator.NID))
 	d, ok := s.lookupMD(h.MD)
 	if !ok {
+		s.pins.Exit(pin)
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
@@ -355,6 +362,7 @@ func (s *State) recvAck(h *wire.Header) {
 		Offset:    h.Offset,
 		MD:        d.handle,
 		UserPtr:   d.md.UserPtr,
+		MsgSeq:    uint64(h.Seq),
 	})
 	// An acknowledgment is an operation on the descriptor: it consumes
 	// threshold. A put that requests an ack therefore needs threshold 2
@@ -378,14 +386,18 @@ func (s *State) recvAck(h *wire.Header) {
 // event. Reserving up front pins the slot before the data is written, and
 // publishing after writeAt keeps the event invisible until its data is.
 func (s *State) recvReply(h *wire.Header, payload []byte) {
+	pin := s.pins.Enter(uint64(h.Initiator.NID))
 	d, ok := s.lookupMD(h.MD)
 	if !ok {
+		s.pins.Exit(pin)
 		s.counters.Drop(types.DropMDGone)
 		return
 	}
 	d.owner.Lock()
 	defer d.owner.Unlock()
-	if d.unlinked {
+	gone := d.unlinked
+	s.pins.Exit(pin)
+	if gone {
 		s.counters.Drop(types.DropMDGone)
 		return
 	}

@@ -43,6 +43,12 @@ func (atomicsCheck) Run(p *Program) []Diagnostic {
 						continue
 					}
 					for _, name := range fld.Names {
+						if name.Name == "_" {
+							// Blank padding fields (cache-line separators
+							// between atomic groups) have no accesses to
+							// race; skip them.
+							continue
+						}
 						if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
 							badFields[obj] = true
 						}

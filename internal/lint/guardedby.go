@@ -172,8 +172,8 @@ func runGuardPass(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStm
 // Pseudo lock-set keys for guard-mode state. They live in the same
 // lockSet as real mutexes (sharing clone/merge/branching) but are
 // invisible to lockdiscipline, whose reports are muted in guard mode.
-func reqKey(class string) string     { return "req:" + class }
-func seqOpenKey(class string) string { return "seq:" + class }
+func reqKey(class string) string      { return "req:" + class }
+func seqOpenKey(class string) string  { return "seq:" + class }
 func seqValidKey(class string) string { return "seqv:" + class }
 
 // guardPass carries the per-function state of the guard checks while a

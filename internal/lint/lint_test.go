@@ -205,6 +205,7 @@ import "sync/atomic"
 type GoodStats struct {
 	n   atomic.Int64
 	arr [4]atomic.Int64
+	_   [64]byte // blank cache-line padding between groups is fine
 	b   atomic.Bool
 }
 

@@ -44,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs/metrics"
 	"repro/internal/obs/trace"
+	"repro/internal/rcu"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -85,11 +86,6 @@ const defaultLaneDepth = 1024
 
 // laneBurst is the initial capacity of pooled lane dispatch batches.
 const laneBurst = 64
-
-// procMap is the PID routing table. It is immutable once published:
-// AddProcess/RemoveProcess copy-on-write a new map and swap the pointer,
-// so lanes look up targets with one atomic load and zero contention.
-type procMap = map[types.PID]*core.State
 
 // laneMsg is one admitted message in flight to (or inside) a lane: the
 // decoded header, the payload view, the resolved target state, and the
@@ -136,9 +132,13 @@ type Node struct {
 	// next to the channel send it annotates.
 	burstSizes metrics.Histogram
 
-	procs atomic.Pointer[procMap] //lint:guardedby atomic
+	// procs is the PID routing table, an rcu.Map: epochs are immutable
+	// once published, so lanes look up targets with one atomic load and
+	// zero contention. Writers (AddProcess(es)/RemoveProcess/Close)
+	// serialize under mu, per the Map contract.
+	procs rcu.Map[types.PID, *core.State] //lint:guardedby atomic
 
-	mu     sync.Mutex // guards copy-on-write of procs, and closed
+	mu     sync.Mutex // serializes procs writers, and guards closed
 	closed bool       //lint:guardedby mu
 
 	lanes []*lane
@@ -161,8 +161,6 @@ func NewNode(net transport.Network, nid types.NID, cfg Config) (*Node, error) {
 		cfg.LaneDepth = defaultLaneDepth
 	}
 	n := &Node{nid: nid, cfg: cfg}
-	empty := make(procMap)
-	n.procs.Store(&empty)
 	if cfg.Lanes > 1 {
 		n.lanes = make([]*lane, cfg.Lanes)
 		for i := range n.lanes {
@@ -229,16 +227,33 @@ func (n *Node) AddProcess(pid types.PID, s *core.State) error {
 	if n.closed {
 		return types.ErrClosed
 	}
-	cur := *n.procs.Load()
-	if _, dup := cur[pid]; dup {
+	if !n.procs.Insert(pid, s) {
 		return fmt.Errorf("nicsim: pid %d already registered on nid %d", pid, n.nid)
 	}
-	next := make(procMap, len(cur)+1)
-	for k, v := range cur {
-		next[k] = v
+	return nil
+}
+
+// AddProcesses registers a batch of processes in one epoch publication.
+// Copy-on-write makes per-PID registration O(n) in the table size, so
+// populating a node with 10⁵ processes one at a time would cost O(n²) map
+// copies; the bulk path copies once. Any duplicate PID fails the whole
+// batch with nothing registered.
+func (n *Node) AddProcesses(procs map[types.PID]*core.State) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return types.ErrClosed
 	}
-	next[pid] = s
-	n.procs.Store(&next)
+	for pid := range procs {
+		if _, dup := n.procs.Get(pid); dup {
+			return fmt.Errorf("nicsim: pid %d already registered on nid %d", pid, n.nid)
+		}
+	}
+	n.procs.Update(func(m map[types.PID]*core.State) {
+		for pid, s := range procs {
+			m[pid] = s
+		}
+	})
 	return nil
 }
 
@@ -249,23 +264,14 @@ func (n *Node) AddProcess(pid types.PID, s *core.State) error {
 func (n *Node) RemoveProcess(pid types.PID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	cur := *n.procs.Load()
-	if _, ok := cur[pid]; !ok {
-		return
-	}
-	next := make(procMap, len(cur))
-	for k, v := range cur {
-		if k != pid {
-			next[k] = v
-		}
-	}
-	n.procs.Store(&next)
+	n.procs.Delete(pid)
 }
 
 // lookup finds the state for a local PID: one atomic load, no lock, so
 // concurrent lanes never contend on node state.
 func (n *Node) lookup(pid types.PID) *core.State {
-	return (*n.procs.Load())[pid]
+	s, _ := n.procs.Get(pid)
+	return s
 }
 
 // outScratch pools the per-burst Outbound scratch slices so the delivery
@@ -547,8 +553,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
-	empty := make(procMap)
-	n.procs.Store(&empty)
+	n.procs.Clear()
 	n.mu.Unlock()
 	err := n.ep.Close()
 	n.stopLanes()

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// unpaddedCounters replicates the receive/send hot fields of Counters
+// without the cache-line padding between groups, as the struct was laid
+// out before the padding change — the baseline the benchmark compares
+// against.
+type unpaddedCounters struct {
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+	sendMsgs  atomic.Int64
+	sendBytes atomic.Int64
+}
+
+// BenchmarkCountersParallel bumps receive-side and send-side counters from
+// alternating goroutines, the way delivery lanes and application senders
+// hit one interface's Counters concurrently. With -cpu=4 the padded layout
+// keeps the two groups on separate cache lines; the /unpadded variant
+// shows the false-sharing cost the padding removes (at -cpu=1 the two
+// converge — there is nothing to contend with).
+func BenchmarkCountersParallel(b *testing.B) {
+	b.Run("padded", func(b *testing.B) {
+		var c Counters
+		var role atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			if role.Add(1)%2 == 0 {
+				for pb.Next() {
+					c.Recv(64)
+				}
+			} else {
+				for pb.Next() {
+					c.Send(64)
+				}
+			}
+		})
+	})
+	b.Run("unpadded", func(b *testing.B) {
+		var c unpaddedCounters
+		var role atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			if role.Add(1)%2 == 0 {
+				for pb.Next() {
+					c.recvMsgs.Add(1)
+					c.recvBytes.Add(64)
+				}
+			} else {
+				for pb.Next() {
+					c.sendMsgs.Add(1)
+					c.sendBytes.Add(64)
+				}
+			}
+		})
+	})
+}

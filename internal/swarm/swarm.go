@@ -1,0 +1,448 @@
+// Package swarm is the million-endpoint load harness (docs/PERF.md §7):
+// it builds a fabric with a configurable number of endpoint processes —
+// each a full core.State with its own portal table, wildcard match
+// entries, and arena-backed descriptors — and drives an open-loop
+// (arrival-rate-scheduled) put stream across them, measuring ack round
+// trips with log2 histograms.
+//
+// Open loop matters: latency for each message is measured from its
+// SCHEDULED send time, not from when the driver actually got around to
+// sending it, so queueing delay under overload shows up in the quantiles
+// instead of being silently absorbed (the coordinated-omission trap of
+// closed-loop harnesses). With Rate == 0 the harness degenerates to a
+// closed loop and measures per-message engine cost instead.
+//
+// The harness exists to demonstrate the PR-7 read path: handle resolution
+// in the endpoints is lock-free (rcu tables), their records arena-backed,
+// so per-message cost stays flat as endpoint count grows 1k → 100k.
+package swarm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/obs/metrics"
+	"repro/internal/transport/loopback"
+	"repro/internal/types"
+)
+
+// Config sizes a swarm run.
+type Config struct {
+	// Endpoints is the number of target processes. Each is one core.State
+	// — its own portal table, handle tables, and arenas.
+	Endpoints int
+	// MEsPerEndpoint is the number of wildcard match entries (each with
+	// one descriptor) attached per endpoint. Default 10, so 100k endpoints
+	// carry 10⁶ match entries.
+	MEsPerEndpoint int
+	// Nodes is how many fabric nodes the endpoints spread over (processes
+	// per node = Endpoints/Nodes). Default 16.
+	Nodes int
+	// Drivers is the number of initiator processes issuing puts, each on
+	// its own node with its own event queue. Default 1.
+	Drivers int
+	// Rate is the offered load in msgs/s across all drivers; 0 means
+	// closed loop (send as fast as the engine accepts).
+	Rate float64
+	// Messages caps the run at a total message count; 0 means run for
+	// Duration instead.
+	Messages int
+	// Duration is the send window when Messages is 0. Default 1s.
+	Duration time.Duration
+	// PayloadBytes is the put payload size. Default 64.
+	PayloadBytes int
+	// Lanes is the per-node delivery lane count. Default 1 (the serial
+	// engine — the right choice on small hosts).
+	Lanes int
+	// HotTargets restricts traffic to the first N endpoints (0 = all).
+	// The hot-set sweep is the control experiment for read-path flatness:
+	// endpoint/table count grows while the traffic working set stays
+	// fixed, so capacity cache misses stay constant and any remaining
+	// cost growth would be algorithmic (lock contention, O(n) lookups).
+	HotTargets int
+	// MaxInflight caps each driver's unacked messages. Default 4096 —
+	// every message costs two driver-EQ events (send + ack), so the cap
+	// keeps worst-case EQ occupancy at a quarter of the 32k ring and no
+	// ack is ever lost to drop-oldest overwrite. Under open-loop overload
+	// the cap stalls the driver past its schedule, which the
+	// scheduled-send-time convention correctly books as latency.
+	MaxInflight int
+	// Warmup is the number of untimed messages sent (closed loop) before
+	// the measured window opens, so the measurement doesn't bill the
+	// cold caches the pre-measurement GC leaves behind or one-time lazy
+	// initialization. Default: Messages/10 (capped at 20k), or 10k in
+	// duration mode; negative disables.
+	Warmup int
+	// Seed feeds target selection. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Endpoints <= 0 {
+		c.Endpoints = 1000
+	}
+	if c.MEsPerEndpoint <= 0 {
+		c.MEsPerEndpoint = 10
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Nodes > c.Endpoints {
+		c.Nodes = c.Endpoints
+	}
+	if c.Drivers <= 0 {
+		c.Drivers = 1
+	}
+	if c.Messages <= 0 && c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 64
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4096
+	}
+	if c.Warmup == 0 {
+		if c.Messages > 0 {
+			c.Warmup = c.Messages / 10
+			if c.Warmup > 20_000 {
+				c.Warmup = 20_000
+			}
+		} else {
+			c.Warmup = 10_000
+		}
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of one swarm run.
+type Report struct {
+	Endpoints    int
+	MatchEntries int // live MEs across all endpoints, counted after setup
+	Nodes        int
+	Drivers      int
+
+	Sent    int64
+	Acked   int64
+	Elapsed time.Duration // send start → last ack drained
+
+	OfferedRate  float64 // msgs/s asked for (0 in closed loop)
+	AchievedRate float64 // acked / elapsed
+	NsPerMsg     float64 // elapsed / acked — per-message engine cost in closed loop
+
+	// Ack round-trip latency from scheduled send time, log2-quantized
+	// upper bounds (metrics.Histogram.Quantile).
+	P50, P99, P999 time.Duration
+
+	Hist *metrics.Histogram // the raw latency histogram, for further analysis
+}
+
+// ackRing is the scheduled-send-time ring: slot seq%len holds the unix
+// nanos the message with that wire seq was scheduled to leave. Wire seqs
+// from one driver State are consecutive (its sendSeq starts at 1 and the
+// driver is single-threaded), so the ring needs only to out-size the
+// in-flight window.
+const ackRing = 1 << 20
+
+// driver is one initiator process: its own node, state, bound descriptor,
+// and event queue, driven by exactly one goroutine.
+type driver struct {
+	node  *nicsim.Node
+	state *core.State
+	md    types.Handle
+	eq    types.Handle
+	sched []int64
+	rnd   *rand.Rand
+
+	sent  int64
+	acked int64
+}
+
+// Run executes one swarm experiment.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	net := loopback.New()
+	defer net.Close()
+
+	// --- target fabric -------------------------------------------------
+	nodes := make([]*nicsim.Node, cfg.Nodes)
+	regs := make([]map[types.PID]*core.State, cfg.Nodes)
+	for i := range nodes {
+		n, err := nicsim.NewNode(net, types.NID(i+1), nicsim.Config{Lanes: cfg.Lanes})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		nodes[i] = n
+		regs[i] = make(map[types.PID]*core.State, cfg.Endpoints/cfg.Nodes+1)
+	}
+
+	limits := types.Limits{
+		MaxMEs:       cfg.MEsPerEndpoint + 1,
+		MaxMDs:       cfg.MEsPerEndpoint + 1,
+		MaxEQs:       1,
+		MaxACEntries: 2,
+		MaxPtlIndex:  1,
+	}
+	targets := make([]types.ProcessID, cfg.Endpoints)
+	matchEntries := 0
+	for i := 0; i < cfg.Endpoints; i++ {
+		ni := i % cfg.Nodes
+		pid := types.PID(1 + i/cfg.Nodes)
+		self := types.ProcessID{NID: types.NID(ni + 1), PID: pid}
+		st := core.NewState(self, limits, nil, nil)
+		// One receive buffer per endpoint, shared by its descriptors: every
+		// delivery into it happens under the endpoint's portal-0 lock, so
+		// the sharing is race-free, and 10⁶ descriptors don't need 10⁶
+		// buffers to demonstrate the read path.
+		buf := make([]byte, cfg.PayloadBytes)
+		for j := 0; j < cfg.MEsPerEndpoint; j++ {
+			me, err := st.MEAttach(0, types.ProcessID{NID: types.NIDAny, PID: types.PIDAny},
+				types.MatchBits(j), 0, types.Retain, types.After)
+			if err != nil {
+				return nil, fmt.Errorf("endpoint %d me %d: %w", i, j, err)
+			}
+			if _, err := st.MDAttach(me, core.MD{
+				Start:     buf,
+				Threshold: types.ThresholdInfinite,
+				Options:   types.MDOpPut | types.MDManageRemote | types.MDTruncate,
+			}, types.Retain); err != nil {
+				return nil, fmt.Errorf("endpoint %d md %d: %w", i, j, err)
+			}
+			matchEntries++
+		}
+		regs[ni][pid] = st
+		targets[i] = self
+	}
+	// Bulk registration: one epoch publication per node instead of one
+	// copy-on-write map copy per endpoint.
+	for i, n := range nodes {
+		if err := n.AddProcesses(regs[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- drivers -------------------------------------------------------
+	drvLimits := types.Limits{MaxMEs: 1, MaxMDs: 2, MaxEQs: 1, MaxACEntries: 2, MaxPtlIndex: 1}
+	drivers := make([]*driver, cfg.Drivers)
+	for d := range drivers {
+		n, err := nicsim.NewNode(net, types.NID(10_000+d), nicsim.Config{Lanes: cfg.Lanes})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		st := core.NewState(types.ProcessID{NID: types.NID(10_000 + d), PID: 1}, drvLimits, nil, nil)
+		if err := n.AddProcess(1, st); err != nil {
+			return nil, err
+		}
+		eq, err := st.EQAlloc(1 << 15)
+		if err != nil {
+			return nil, err
+		}
+		md, err := st.MDBind(core.MD{
+			Start:     make([]byte, cfg.PayloadBytes),
+			Threshold: types.ThresholdInfinite,
+			EQ:        eq,
+		}, types.Retain)
+		if err != nil {
+			return nil, err
+		}
+		drivers[d] = &driver{
+			node: n, state: st, md: md, eq: eq,
+			sched: make([]int64, ackRing),
+			rnd:   rand.New(rand.NewSource(cfg.Seed + int64(d))),
+		}
+	}
+
+	// --- load ----------------------------------------------------------
+	// Collect the setup garbage before the timed window opens: building
+	// 100k states leaves enough dead memory behind that the collector's
+	// next cycle — marking a multi-GB live heap on a small host — would
+	// otherwise land inside the measurement and be billed to the
+	// per-message cost.
+	runtime.GC()
+	launch := func(perDriver int, interval time.Duration, hist *metrics.Histogram) (time.Duration, error) {
+		start := time.Now()
+		errs := make(chan error, cfg.Drivers)
+		for _, dr := range drivers {
+			go func(dr *driver) {
+				errs <- dr.run(cfg, targets, perDriver, interval, start, hist)
+			}(dr)
+		}
+		var firstErr error
+		for range drivers {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return time.Since(start), firstErr
+	}
+	if cfg.Warmup > 0 {
+		// Untimed closed-loop pass into a scratch histogram; run's settle
+		// loop leaves every driver with acked == sent before returning.
+		warmPer := (cfg.Warmup + cfg.Drivers - 1) / cfg.Drivers
+		if _, err := launch(warmPer, 0, &metrics.Histogram{}); err != nil {
+			return nil, err
+		}
+	}
+	var warmSent, warmAcked int64
+	for _, dr := range drivers {
+		warmSent += dr.sent
+		warmAcked += dr.acked
+	}
+	hist := &metrics.Histogram{}
+	perDriver := 0
+	if cfg.Messages > 0 {
+		perDriver = (cfg.Messages + cfg.Drivers - 1) / cfg.Drivers
+	}
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Drivers) / cfg.Rate)
+	}
+	elapsed, firstErr := launch(perDriver, interval, hist)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &Report{
+		Endpoints:    cfg.Endpoints,
+		MatchEntries: matchEntries,
+		Nodes:        cfg.Nodes,
+		Drivers:      cfg.Drivers,
+		Elapsed:      elapsed,
+		OfferedRate:  cfg.Rate,
+		Hist:         hist,
+		P50:          time.Duration(hist.Quantile(0.50)),
+		P99:          time.Duration(hist.Quantile(0.99)),
+		P999:         time.Duration(hist.Quantile(0.999)),
+	}
+	for _, dr := range drivers {
+		rep.Sent += dr.sent
+		rep.Acked += dr.acked
+	}
+	rep.Sent -= warmSent // report the measured window only
+	rep.Acked -= warmAcked
+	if rep.Acked > 0 {
+		rep.AchievedRate = float64(rep.Acked) / elapsed.Seconds()
+		rep.NsPerMsg = float64(elapsed.Nanoseconds()) / float64(rep.Acked)
+	}
+	return rep, nil
+}
+
+// run is one driver's send loop. It is the only goroutine touching this
+// driver's state, so wire seqs are consecutive and the sched ring needs no
+// synchronization; the latency histogram is shared (atomic Observe).
+func (dr *driver) run(cfg Config, targets []types.ProcessID, perDriver int,
+	interval time.Duration, start time.Time, hist *metrics.Histogram) error {
+
+	pick := len(targets)
+	if cfg.HotTargets > 0 && cfg.HotTargets < pick {
+		pick = cfg.HotTargets
+	}
+	// Wire seqs continue across the warmup pass: message i of THIS pass
+	// is seq base+i+1.
+	base := dr.sent
+	deadline := start.Add(cfg.Duration)
+	for i := 0; ; i++ {
+		if perDriver > 0 {
+			if i >= perDriver {
+				break
+			}
+		} else if i&127 == 0 && time.Now().After(deadline) {
+			break
+		}
+		// Open loop: message i is due at start + i*interval, regardless of
+		// how far behind the driver is running.
+		sched := start.Add(time.Duration(i) * interval)
+		if interval > 0 {
+			dr.pace(sched, hist)
+		} else {
+			sched = time.Now() // closed loop: scheduled == actual
+		}
+		// Bound in-flight so the driver EQ can never drop an ack. The
+		// stall shows up as latency (open loop) or lower achieved rate
+		// (closed loop) — never as silent loss.
+		for dr.sent-dr.acked >= int64(cfg.MaxInflight) {
+			before := dr.acked
+			dr.drain(hist)
+			if dr.acked == before {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+		tgt := targets[dr.rnd.Intn(pick)]
+		bits := types.MatchBits(dr.rnd.Intn(cfg.MEsPerEndpoint))
+		out, err := dr.state.StartPut(dr.md, types.AckReq, tgt, 0, 0, bits, 0)
+		if err != nil {
+			return fmt.Errorf("driver put %d: %w", i, err)
+		}
+		// This driver's wire seqs are consecutive from 1. Record the
+		// scheduled departure for the ack to close against.
+		dr.sched[uint64(base+int64(i)+1)%ackRing] = sched.UnixNano()
+		dr.sent++
+		if err := dr.node.Send(out); err != nil {
+			return fmt.Errorf("driver send %d: %w", i, err)
+		}
+		dr.drain(hist)
+	}
+	// Let in-flight acks land: keep draining until the counts match or the
+	// fabric has clearly gone idle.
+	idleSince := time.Now()
+	for dr.acked < dr.sent && time.Since(idleSince) < time.Second {
+		before := dr.acked
+		dr.drain(hist)
+		if dr.acked != before {
+			idleSince = time.Now()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// pace waits until the scheduled departure time, draining acks while it
+// waits (the driver goroutine is also the EQ consumer).
+func (dr *driver) pace(sched time.Time, hist *metrics.Histogram) {
+	for {
+		gap := time.Until(sched)
+		if gap <= 0 {
+			return
+		}
+		dr.drain(hist)
+		if gap > time.Millisecond {
+			time.Sleep(gap - 500*time.Microsecond)
+		} else {
+			// Sub-millisecond: yield so delivery goroutines get the core.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// drain consumes everything currently in the driver's event queue,
+// observing ack latencies against the scheduled-departure ring.
+func (dr *driver) drain(hist *metrics.Histogram) {
+	for {
+		ev, err := dr.state.EQGet(dr.eq)
+		if err != nil && err != types.ErrEQDropped {
+			return // ErrEQEmpty or closed; a Dropped marker still carries a valid event
+		}
+		if ev.Type != types.EventAck {
+			continue // EventSend, or the zero event riding an overrun marker
+		}
+		lat := time.Now().UnixNano() - dr.sched[ev.MsgSeq%ackRing]
+		hist.Observe(lat)
+		dr.acked++
+	}
+}

@@ -1,0 +1,66 @@
+package swarm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSwarmSmoke runs a small closed-loop swarm (Rate 0) end to end and
+// checks the report is internally consistent: every message acked, the
+// quantiles monotone, and the topology counts matching the config.
+func TestSwarmSmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Endpoints:      64,
+		MEsPerEndpoint: 4,
+		Nodes:          4,
+		Drivers:        2,
+		Messages:       2000,
+		PayloadBytes:   32,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Endpoints != 64 || rep.MatchEntries != 64*4 {
+		t.Fatalf("topology: endpoints=%d mes=%d", rep.Endpoints, rep.MatchEntries)
+	}
+	if rep.Sent != 2000 {
+		t.Fatalf("sent %d messages, want 2000", rep.Sent)
+	}
+	if rep.Acked != rep.Sent {
+		t.Fatalf("acked %d of %d sent", rep.Acked, rep.Sent)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.P999 < rep.P99 {
+		t.Fatalf("quantiles not monotone: p50=%d p99=%d p999=%d", rep.P50, rep.P99, rep.P999)
+	}
+	if rep.NsPerMsg <= 0 {
+		t.Fatalf("NsPerMsg = %v", rep.NsPerMsg)
+	}
+}
+
+// TestSwarmOpenLoop exercises the rate-paced path: a short timed run at a
+// modest rate must complete and ack everything it sent.
+func TestSwarmOpenLoop(t *testing.T) {
+	rep, err := Run(Config{
+		Endpoints:      32,
+		MEsPerEndpoint: 2,
+		Nodes:          2,
+		Drivers:        1,
+		Rate:           20000,
+		Duration:       100 * time.Millisecond,
+		PayloadBytes:   16,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("open-loop run sent no messages")
+	}
+	if rep.Acked != rep.Sent {
+		t.Fatalf("acked %d of %d sent", rep.Acked, rep.Sent)
+	}
+	if rep.OfferedRate != 20000 {
+		t.Fatalf("OfferedRate = %v", rep.OfferedRate)
+	}
+}

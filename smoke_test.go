@@ -120,6 +120,27 @@ func TestCmdMemscale(t *testing.T) {
 	}
 }
 
+func TestCmdMemscaleGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/memscale", "-gc", "-entries", "100000")
+	if !strings.Contains(out, "heap-objects") || !strings.Contains(out, "arena") {
+		t.Errorf("memscale -gc output:\n%s", out)
+	}
+}
+
+func TestCmdSwarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/swarm",
+		"-endpoints", "200", "-mes", "4", "-nodes", "4", "-msgs", "5000")
+	if !strings.Contains(out, "latency p50=") || !strings.Contains(out, "acked=5000") {
+		t.Errorf("swarm output:\n%s", out)
+	}
+}
+
 func TestCmdPtlnodePair(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short")
