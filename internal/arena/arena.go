@@ -9,19 +9,42 @@
 // to them. Reuse is the subtle part: an RCU reader may still hold a
 // pointer to an entry that was just released, so a released entry must not
 // be rewritten until every such reader is provably gone. The arena gets
-// that proof from a Gate (rcu.Guards.Quiescent): released entries park on
-// a limbo list and migrate to the free list only once a reader-free moment
-// has been observed after their release.
+// that proof from a Gate (rcu.Guards): released entries park on a limbo
+// list and migrate to the free list only once a grace period covering
+// their release has elapsed — either an instantaneous reader-free moment
+// (Quiescent) or, under reader traffic dense enough that such a moment is
+// never observable, enough of the Gate's parity-flip grace periods
+// (Advance). The latter makes reclamation progress unconditional: limbo
+// cannot grow without bound while Get churn continues, because every Get
+// drives the grace machinery forward.
 package arena
 
 import "sync"
 
-// Gate reports whether a grace period has elapsed: true means no read-side
+// Gate provides grace periods for deferred reuse: proof that no read-side
 // critical section that began before the gated entries were released is
 // still running. rcu.Guards implements it.
 type Gate interface {
+	// Quiescent reports whether an instant with no reader inside a window
+	// was just observed — sufficient to recycle everything released
+	// before the call, but not guaranteed to ever return true under
+	// continuously overlapping readers.
 	Quiescent() bool
+	// Advance tries to complete one grace period and returns the number
+	// completed so far (monotone). See graceLag for how the counter turns
+	// into a reclamation proof.
+	Advance() uint64
 }
+
+// graceLag is how far the Gate's grace counter must move past a limbo
+// batch's seal stamp before the batch is recyclable. The batch's entries
+// were all released (unreachable to new lookups) before the stamp was
+// read, so per rcu.Guards.Advance's contract, completions stamp+2 and
+// stamp+3 scanned entirely after those releases — and, covering both
+// parities, account for every reader that could have obtained a batch
+// pointer. Readers the scans missed entered after them, hence after the
+// releases, and miss in the table.
+const graceLag = 3
 
 // firstChunk is the capacity of an arena's first chunk; each subsequent
 // chunk doubles. Small arenas (a process with a dozen match entries — the
@@ -29,19 +52,27 @@ type Gate interface {
 // arena reaches its size in ~17 chunk allocations.
 const firstChunk = 16
 
+// limboBatch is a sealed set of released entries awaiting grace periods.
+type limboBatch[T any] struct {
+	entries []*T
+	stamp   uint64 // Gate grace count when sealed; recyclable at stamp+graceLag
+}
+
 // Arena is a typed arena with free-list reuse. All methods are safe for
 // concurrent use; the internal mutex is control-plane only (Get/Put run at
 // attach/unlink time, never per message).
 type Arena[T any] struct {
 	mu     sync.Mutex
-	chunks [][]T //lint:guardedby mu  slabs; entry addresses are stable forever
-	used   int   //lint:guardedby mu  entries handed out of the newest chunk
-	free   []*T  //lint:guardedby mu  reusable now
-	limbo  []*T  //lint:guardedby mu  released, awaiting a grace period
-	live   int   //lint:guardedby mu
+	chunks [][]T           //lint:guardedby mu  slabs; entry addresses are stable forever
+	used   int             //lint:guardedby mu  entries handed out of the newest chunk
+	free   []*T            //lint:guardedby mu  reusable now
+	limbo  []*T            //lint:guardedby mu  open batch: released since the last seal
+	aging  []limboBatch[T] //lint:guardedby mu  sealed batches awaiting grace periods
+	live   int             //lint:guardedby mu
 
-	// gate defers reuse until quiescent; nil means entries are reusable
-	// immediately (no concurrent readers exist by construction).
+	// gate defers reuse until a grace period has elapsed; nil means
+	// entries are reusable immediately (no concurrent readers exist by
+	// construction).
 	gate Gate
 }
 
@@ -59,17 +90,65 @@ func (a *Arena[T]) SetGate(g Gate) {
 	a.mu.Unlock()
 }
 
-// Get returns a zeroed entry. It reuses a free slot when one is
-// available, drains limbo first if a grace period has elapsed, and grows
-// the arena by one doubling chunk otherwise.
+// reclaim moves parked entries to the free list once a grace period
+// covering their release has elapsed, and advances the grace machinery so
+// parked entries keep making progress toward reuse even when no global
+// reader-free instant is ever observable.
+//
+//lint:requires mu
+func (a *Arena[T]) reclaim() {
+	if a.gate == nil || (len(a.limbo) == 0 && len(a.aging) == 0) {
+		return
+	}
+	// Fast path: an instantaneous reader-free moment covers everything
+	// parked so far — all of it was released before this observation.
+	if a.gate.Quiescent() {
+		for i := range a.aging {
+			a.free = append(a.free, a.aging[i].entries...)
+			a.aging[i] = limboBatch[T]{}
+		}
+		a.aging = a.aging[:0]
+		a.free = append(a.free, a.limbo...)
+		a.limbo = a.limbo[:0]
+		return
+	}
+	// Slow path: per-parity grace periods. Recycle every sealed batch the
+	// counter has moved graceLag past, then seal the open batch at the
+	// current count (merging into the newest batch when the count hasn't
+	// moved, so aging stays short between grace completions).
+	d := a.gate.Advance()
+	n := 0
+	for _, b := range a.aging {
+		if d >= b.stamp+graceLag {
+			a.free = append(a.free, b.entries...)
+		} else {
+			a.aging[n] = b
+			n++
+		}
+	}
+	for i := n; i < len(a.aging); i++ {
+		a.aging[i] = limboBatch[T]{}
+	}
+	a.aging = a.aging[:n]
+	if len(a.limbo) > 0 {
+		if n > 0 && a.aging[n-1].stamp == d {
+			a.aging[n-1].entries = append(a.aging[n-1].entries, a.limbo...)
+			a.limbo = a.limbo[:0]
+		} else {
+			a.aging = append(a.aging, limboBatch[T]{entries: a.limbo, stamp: d})
+			a.limbo = nil
+		}
+	}
+}
+
+// Get returns a zeroed entry. It first gives parked entries a chance to
+// recycle (every Get advances the reclamation machinery, so limbo drains
+// even under continuous reader load), then reuses a free slot when one is
+// available and grows the arena by one doubling chunk otherwise.
 func (a *Arena[T]) Get() *T {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(a.free) == 0 && len(a.limbo) > 0 && (a.gate == nil || a.gate.Quiescent()) {
-		// Every limbo entry was released before this quiescence
-		// observation, so no reader can still hold one: recycle them all.
-		a.free, a.limbo = a.limbo, a.free[:0]
-	}
+	a.reclaim()
 	a.live++
 	if n := len(a.free); n > 0 {
 		p := a.free[n-1]

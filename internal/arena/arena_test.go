@@ -106,3 +106,34 @@ func TestArenaLimboBatchesDrain(t *testing.T) {
 		t.Fatalf("recycled %d of 10 limbo entries, want all", recycled)
 	}
 }
+
+// TestArenaReclaimUnderContinuousReaders: with overlapping pin windows —
+// always at least one reader inside, so an instantaneous reader-free
+// moment is never observed — parked entries must still recycle. The
+// Gate's parity-flip grace periods, driven forward by every Get, make
+// progress where a single-sample Quiescent check would starve and let
+// limbo grow without bound.
+func TestArenaReclaimUnderContinuousReaders(t *testing.T) {
+	var g rcu.Guards
+	a := New[int](&g)
+
+	p := a.Get()
+	*p = 7
+	a.Put(p) // parked; the reader traffic below never pauses
+
+	cur := g.Enter(0)
+	recycled := false
+	for i := 0; i < 64 && !recycled; i++ {
+		nxt := g.Enter(uint64(i)) // overlapping handoff
+		g.Exit(cur)
+		cur = nxt
+		if g.Quiescent() {
+			t.Fatal("test invariant broken: globally quiescent mid-handoff")
+		}
+		recycled = a.Get() == p
+	}
+	g.Exit(cur)
+	if !recycled {
+		t.Fatal("parked entry never recycled under continuous reader load")
+	}
+}

@@ -633,3 +633,28 @@ func TestSelfPut(t *testing.T) {
 		t.Errorf("self put = %q", buf[:4])
 	}
 }
+
+// TestHandleIncomingHugeHandleIndex is the regression test for the
+// slot-table chunk-bound overflow: a peer controls Header.MD verbatim, and
+// an index in the top 16 values of the uint32 space (0xFFFFFFF0 and up)
+// used to map one chunk past the rcu table's chunk array and panic the
+// whole process on the delivery path. It must be a clean drop instead.
+func TestHandleIncomingHugeHandleIndex(t *testing.T) {
+	s := newState(t, aliceID)
+	for _, idx := range []uint32{0xFFFFFFF0, 0xFFFFFFFF} {
+		for _, op := range []wire.Op{wire.OpAck, wire.OpReply} {
+			h := wire.Header{
+				Op:        op,
+				Initiator: bobID,
+				Target:    aliceID,
+				MD:        types.Handle{Kind: types.KindMD, Index: idx, Gen: 3},
+			}
+			if out := s.HandleIncoming(&h, nil); len(out) != 0 {
+				t.Fatalf("%v with MD index %#x produced %d outbound messages", op, idx, len(out))
+			}
+		}
+	}
+	if n := s.Counters().Dropped(); n != 4 {
+		t.Fatalf("drops = %d, want 4 (one per crafted message)", n)
+	}
+}

@@ -314,3 +314,60 @@ func BenchmarkTableLookup(b *testing.B) {
 		}
 	}
 }
+
+// TestTableIndexBounds: indices past the chunk geometry — the top 16
+// values of the uint32 space, including 0xFFFFFFFF — must miss, never
+// panic: Lookup's index arrives verbatim from a wire-decoded handle, so
+// it is peer-controlled input.
+func TestTableIndexBounds(t *testing.T) {
+	if got := chunkStart(maxChunks); got != maxSlots {
+		t.Fatalf("chunk geometry: chunkStart(%d) = %d, want maxSlots = %d", maxChunks, got, uint32(maxSlots))
+	}
+	var tab Table[int]
+	v := 5
+	if _, _, ok := tab.Alloc(&v); !ok {
+		t.Fatal("alloc failed")
+	}
+	for _, idx := range []uint32{maxSlots, maxSlots + 1, 0xFFFFFFF0, 0xFFFFFFFF} {
+		for _, gen := range []uint32{0, 1, 0x7FFFFFFF} {
+			if _, ok := tab.Lookup(idx, gen); ok {
+				t.Fatalf("Lookup(%#x, %d) hit an out-of-range index", idx, gen)
+			}
+			if _, ok := tab.Release(idx, gen); ok {
+				t.Fatalf("Release(%#x, %d) freed an out-of-range index", idx, gen)
+			}
+		}
+	}
+	// The largest in-range index lands in a never-allocated chunk: a miss,
+	// not a panic.
+	if _, ok := tab.Lookup(maxSlots-1, 0); ok {
+		t.Fatal("Lookup of a never-allocated high index hit")
+	}
+}
+
+// TestGuardsAdvance: grace periods must keep completing under
+// continuously overlapping readers — the load pattern where a global
+// reader-free instant (Quiescent) is never observable. Each Advance scans
+// only the retiring parity, which new readers no longer join, so the
+// counter keeps moving as long as individual windows close.
+func TestGuardsAdvance(t *testing.T) {
+	var g Guards
+	start := g.Advance() // empty parities drain trivially
+	cur := g.Enter(0)
+	for i := 0; i < 8; i++ {
+		nxt := g.Enter(uint64(i)) // overlap: enter the next window before leaving the current
+		g.Exit(cur)
+		cur = nxt
+		if g.Quiescent() {
+			t.Fatal("test invariant broken: globally quiescent mid-handoff")
+		}
+		g.Advance()
+	}
+	if d := g.Advance(); d < start+3 {
+		t.Fatalf("grace periods stalled under overlapping readers: %d after start %d", d, start)
+	}
+	g.Exit(cur)
+	if !g.Quiescent() {
+		t.Fatal("not quiescent after the last reader exited")
+	}
+}
