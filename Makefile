@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-sarif lint-baseline test race short bench bench-smoke sweep examples ci clean trace-smoke
+.PHONY: all build lint lint-sarif lint-baseline test race short bench bench-smoke bench-diff sweep examples ci clean trace-smoke
 
 all: build lint test
 
@@ -57,11 +57,27 @@ bench:
 
 # bench-smoke is CI's quick variant: one iteration per fast-path benchmark,
 # streamed through cmd/benchjson so parse failures or an empty stream fail
-# the target.
+# the target — followed by the bench-diff regression gate when a baseline
+# artifact exists.
 bench-smoke:
 	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady' \
 		-benchtime=1x -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
 		$(GO) run ./cmd/benchjson -label ci-smoke -min-results 20
+	@if [ -f BENCH_baseline.json ]; then $(MAKE) bench-diff; else echo "no BENCH_baseline.json; skipping bench-diff"; fi
+
+# bench-diff fails (exit nonzero) when a benchmark regressed past
+# BENCHTHRESHOLD vs the checked-in BENCH_baseline.json. The gated subset
+# is the stable ~100ns-scale microbenchmarks (match-list translation and
+# iovec scatter — the per-message fast path this repo optimizes); sub-5ns
+# and multi-ms benchmarks are too noise-prone for a ratio gate. -count=3
+# feeds benchjson three runs per benchmark and Compare takes the best of
+# each: scheduler noise is one-sided, so the minimum is the honest
+# estimate. Refresh the baseline with `make bench` when hardware changes.
+BENCHTHRESHOLD ?= 1.25
+bench-diff:
+	$(GO) test -run=NONE -bench='TranslateExact|TranslateDepth|IOVecScatter' \
+		-benchtime=200ms -count=3 -cpu=1 -json . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -threshold $(BENCHTHRESHOLD) -min-results 10
 
 # trace-smoke exercises the observability subsystem end to end: a small
 # bypass run with the flight recorder and the metrics registry enabled,

@@ -13,6 +13,16 @@
 // stamps the summary's label field); -min-results N exits nonzero when
 // fewer than N benchmark lines parsed, so an empty or truncated bench
 // stream fails the pipeline instead of producing a quietly empty artifact.
+//
+// -diff turns the tool into a regression gate: the incoming stream is
+// compared against a previously written summary, and any benchmark whose
+// ns/op grew past -threshold (default 1.25 = 25% slower) exits nonzero:
+//
+//	go test -bench=Translate -run=NONE -json . \
+//	  | go run ./cmd/benchjson -diff BENCH_baseline.json -threshold 1.25
+//
+// Matching is by (name, package, cpus); zero comparable results is itself
+// an error, so a renamed suite cannot pass as "no regressions".
 package main
 
 import (
@@ -23,7 +33,7 @@ import (
 	"repro/internal/benchfmt"
 )
 
-func run(out, label string, minResults int) error {
+func run(out, label, diff string, threshold float64, minResults int) error {
 	s, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		return err
@@ -36,19 +46,47 @@ func run(out, label string, minResults int) error {
 		if err := s.WriteFile(benchfmt.LabelPath("", label)); err != nil {
 			return err
 		}
-		if out == "" {
-			return nil // labeled artifact written; no stdout dump wanted
+	}
+	switch {
+	case out != "":
+		if err := s.WriteFile(out); err != nil {
+			return err
+		}
+	case label == "" && diff == "":
+		// No artifact or gate requested: dump the summary to stdout.
+		if err := s.WriteFile(""); err != nil {
+			return err
 		}
 	}
-	return s.WriteFile(out)
+	if diff == "" {
+		return nil
+	}
+	base, err := benchfmt.ReadFile(diff)
+	if err != nil {
+		return err
+	}
+	regs, compared, err := benchfmt.Compare(base, s, threshold)
+	if err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		return fmt.Errorf("%d of %d benchmarks regressed past %.2fx vs %s", len(regs), compared, threshold, diff)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.2fx of %s\n", compared, threshold, diff)
+	return nil
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "also write the summary as BENCH_<label>.json")
 	minResults := flag.Int("min-results", 0, "fail unless at least this many benchmark results parsed")
+	diff := flag.String("diff", "", "compare against this BENCH_*.json and fail on regressions")
+	threshold := flag.Float64("threshold", 1.25, "ns/op growth ratio that counts as a regression (with -diff)")
 	flag.Parse()
-	if err := run(*out, *label, *minResults); err != nil {
+	if err := run(*out, *label, *diff, *threshold, *minResults); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

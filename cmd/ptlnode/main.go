@@ -1,6 +1,6 @@
-// Command ptlnode runs one Portals node in its own OS process over the
-// TCP reference transport — the genuinely distributed deployment of the
-// §3 reference implementation. Start a responder, then a pinger:
+// Command ptlnode runs one Portals node in its own OS process over real
+// kernel sockets — the genuinely distributed deployment of the §3
+// reference implementation. Start a responder, then a pinger:
 //
 //	ptlnode -nid 1 -listen 127.0.0.1:9701 -peer 2=127.0.0.1:9702 -mode pong &
 //	ptlnode -nid 2 -listen 127.0.0.1:9702 -peer 1=127.0.0.1:9701 \
@@ -8,7 +8,8 @@
 //
 // The pinger reports round-trip latency through real kernel sockets; the
 // responder echoes entirely at the Portals level (armed match entry +
-// event loop).
+// event loop). -transport selects the wire: tcp (streams, the default) or
+// udp (connectionless datagrams under the rtscts reliability engine).
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	nid := flag.Uint("nid", 1, "this node's NID")
 	pid := flag.Uint("pid", 1, "this process's PID")
 	listen := flag.String("listen", "127.0.0.1:9701", "listen address")
+	transport := flag.String("transport", "tcp", "wire transport: tcp or udp")
 	peerSpecs := flag.String("peer", "", "comma-separated peers: nid=host:port[,nid=host:port...]")
 	mode := flag.String("mode", "pong", "pong (echo forever) or ping")
 	target := flag.Uint("target", 0, "ping target NID")
@@ -56,7 +58,16 @@ func main() {
 		}
 	}
 
-	m := portals.NewMachine(portals.TCPStatic(portals.NID(*nid), *listen, peers))
+	var fabric portals.Fabric
+	switch *transport {
+	case "tcp":
+		fabric = portals.TCPStatic(portals.NID(*nid), *listen, peers)
+	case "udp":
+		fabric = portals.UDPStatic(portals.NID(*nid), *listen, peers)
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want tcp or udp)", *transport))
+	}
+	m := portals.NewMachine(fabric)
 	defer m.Close()
 	ni, err := m.NIInit(portals.NID(*nid), portals.PID(*pid), portals.Limits{})
 	if err != nil {

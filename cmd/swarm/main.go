@@ -43,6 +43,7 @@ func main() {
 	warmup := flag.Int("warmup", 0, "untimed warmup messages before the measured window (0 = auto, -1 = none)")
 	trials := flag.Int("trials", 1, "runs per configuration; the best (lowest ns/msg) is reported")
 	seed := flag.Int64("seed", 1, "target-selection seed")
+	transport := flag.String("transport", "loopback", "fabric under the harness: loopback or udp")
 	sweep := flag.String("sweep", "", "comma-separated endpoint counts to sweep (overrides -endpoints)")
 	label := flag.String("label", "", "write runs as BENCH_<label>.json")
 	out := flag.String("o", "", "also write the benchmark summary to this path")
@@ -79,6 +80,7 @@ func main() {
 			HotTargets:     *hot,
 			Warmup:         *warmup,
 			Seed:           *seed,
+			Transport:      *transport,
 		}
 		if *trials < 1 {
 			*trials = 1

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReadFile loads a summary previously written by WriteFile.
+func ReadFile(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Regression is one benchmark that slowed down past the threshold.
+type Regression struct {
+	Name    string  `json:"name"`
+	Package string  `json:"package,omitempty"`
+	Cpus    int     `json:"cpus,omitempty"`
+	OldNs   float64 `json:"old_ns_per_op"`
+	NewNs   float64 `json:"new_ns_per_op"`
+	Ratio   float64 `json:"ratio"` // NewNs / OldNs
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s [%s cpus=%d]: %.0f -> %.0f ns/op (%.2fx)",
+		r.Name, r.Package, r.Cpus, r.OldNs, r.NewNs, r.Ratio)
+}
+
+// key identifies a benchmark across runs: same name, package, and -cpu
+// variant. Two runs of the suite with different -cpu flags simply share
+// fewer keys.
+type key struct {
+	name string
+	pkg  string
+	cpus int
+}
+
+// collapse indexes a summary by key, keeping the best (lowest) ns/op for
+// each. A `go test -count=N` stream yields N results per benchmark;
+// best-of-N is the standard defense against one-sided scheduler noise —
+// a loaded machine only ever makes code look slower, never faster, so
+// the minimum is the honest estimate. Results without a positive ns/op
+// are dropped (harness entries that only carry custom metrics).
+func collapse(s *Summary) map[key]Result {
+	m := make(map[key]Result, len(s.Results))
+	for _, r := range s.Results {
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		k := key{r.Name, r.Package, r.Cpus}
+		if prev, ok := m[k]; !ok || r.NsPerOp < prev.NsPerOp {
+			m[k] = r
+		}
+	}
+	return m
+}
+
+// Compare matches results between two summaries by (name, package, cpus)
+// — best-of-N per key on each side, see collapse — and reports every
+// benchmark whose ns/op grew by more than threshold (e.g. 1.25 = "fail
+// on a 25% slowdown"). compared counts the matched keys; an error is
+// returned when nothing matched at all — a renamed suite or an empty run
+// must not pass as "no regressions".
+func Compare(old, cur *Summary, threshold float64) (regs []Regression, compared int, err error) {
+	if threshold <= 0 {
+		return nil, 0, fmt.Errorf("benchfmt: threshold %v must be > 0", threshold)
+	}
+	base := collapse(old)
+	for k, r := range collapse(cur) {
+		o, ok := base[k]
+		if !ok {
+			continue
+		}
+		compared++
+		if ratio := r.NsPerOp / o.NsPerOp; ratio > threshold {
+			regs = append(regs, Regression{
+				Name: r.Name, Package: r.Package, Cpus: r.Cpus,
+				OldNs: o.NsPerOp, NewNs: r.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("benchfmt: no comparable results between the two summaries (renamed benchmarks or empty run?)")
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, compared, nil
+}

@@ -1,0 +1,173 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sum(results ...Result) *Summary {
+	s := New()
+	s.Results = results
+	return s
+}
+
+func TestCompareFlagsOnlyPastThreshold(t *testing.T) {
+	old := sum(
+		Result{Name: "BenchmarkA", Package: "p", Cpus: 1, NsPerOp: 100},
+		Result{Name: "BenchmarkB", Package: "p", Cpus: 1, NsPerOp: 100},
+		Result{Name: "BenchmarkC", Package: "p", Cpus: 1, NsPerOp: 100},
+	)
+	cur := sum(
+		Result{Name: "BenchmarkA", Package: "p", Cpus: 1, NsPerOp: 120}, // +20%: under 1.25
+		Result{Name: "BenchmarkB", Package: "p", Cpus: 1, NsPerOp: 200}, // +100%: regression
+		Result{Name: "BenchmarkC", Package: "p", Cpus: 1, NsPerOp: 80},  // faster
+	)
+	regs, compared, err := Compare(old, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 3 {
+		t.Fatalf("compared = %d, want 3", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %v, want only BenchmarkB", regs)
+	}
+	if regs[0].Ratio < 1.99 || regs[0].Ratio > 2.01 {
+		t.Fatalf("ratio = %v, want ~2.0", regs[0].Ratio)
+	}
+}
+
+func TestCompareKeysOnNamePackageCpus(t *testing.T) {
+	old := sum(
+		Result{Name: "BenchmarkA", Package: "p1", Cpus: 1, NsPerOp: 100},
+		Result{Name: "BenchmarkA-4", Package: "p1", Cpus: 4, NsPerOp: 50},
+	)
+	cur := sum(
+		// Same name in a different package must not match p1's entry.
+		Result{Name: "BenchmarkA", Package: "p2", Cpus: 1, NsPerOp: 500},
+		// The -4 variant matches its own baseline.
+		Result{Name: "BenchmarkA-4", Package: "p1", Cpus: 4, NsPerOp: 200},
+	)
+	regs, compared, err := Compare(old, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 (only the cpus=4 pair)", compared)
+	}
+	if len(regs) != 1 || regs[0].Cpus != 4 {
+		t.Fatalf("regressions = %v, want the cpus=4 pair", regs)
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	old := sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 100},
+		Result{Name: "BenchmarkB", Cpus: 1, NsPerOp: 100},
+	)
+	cur := sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 150},
+		Result{Name: "BenchmarkB", Cpus: 1, NsPerOp: 300},
+	)
+	regs, _, err := Compare(old, cur, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %v, want BenchmarkB first (worst ratio)", regs)
+	}
+}
+
+func TestCompareErrorsWhenNothingMatches(t *testing.T) {
+	old := sum(Result{Name: "BenchmarkOld", Cpus: 1, NsPerOp: 100})
+	cur := sum(Result{Name: "BenchmarkNew", Cpus: 1, NsPerOp: 100})
+	if _, _, err := Compare(old, cur, 1.25); err == nil {
+		t.Fatal("zero matched results must be an error, not a pass")
+	}
+	if _, _, err := Compare(old, cur, 0); err == nil {
+		t.Fatal("threshold 0 must be rejected")
+	}
+}
+
+func TestCompareSkipsMetricOnlyResults(t *testing.T) {
+	// Harness entries (cmd/swarm) can carry only custom metrics; ns/op 0
+	// must not divide or count.
+	old := sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 0},
+		Result{Name: "BenchmarkB", Cpus: 1, NsPerOp: 100},
+	)
+	cur := sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 100},
+		Result{Name: "BenchmarkB", Cpus: 1, NsPerOp: 100},
+	)
+	_, compared, err := Compare(old, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 (ns/op 0 skipped)", compared)
+	}
+}
+
+func TestCompareTakesBestOfRepeatedRuns(t *testing.T) {
+	old := sum(Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 100})
+	// A -count=3 stream: one noisy spike among clean runs must not fail.
+	cur := sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 180},
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 101},
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 170},
+	)
+	regs, compared, err := Compare(old, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("compared=%d regs=%v, want best-of-3 (101ns) to pass", compared, regs)
+	}
+	// All three runs slow: the best is still a regression.
+	cur = sum(
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 180},
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 160},
+		Result{Name: "BenchmarkA", Cpus: 1, NsPerOp: 170},
+	)
+	regs, _, err = Compare(old, cur, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].NewNs != 160 {
+		t.Fatalf("regs = %v, want one regression at the best-of (160ns)", regs)
+	}
+}
+
+func TestReadFileRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	s := sum(Result{Name: "BenchmarkA", Package: "p", Cpus: 4, NsPerOp: 42.5,
+		Iterations: 10, Metrics: map[string]float64{"B/op": 8}})
+	s.Label = "x"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "x" || len(got.Results) != 1 || got.Results[0].NsPerOp != 42.5 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if !strings.Contains(Regression{Name: "BenchmarkA", Package: "p", Cpus: 1,
+		OldNs: 100, NewNs: 250, Ratio: 2.5}.String(), "2.50x") {
+		t.Fatal("Regression.String must render the ratio")
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -560,6 +561,31 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range prog.Run(nil) {
 		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestLoadHonorsBuildConstraints: platform-gated alternates of one
+// function (//go:build linux vs !linux, as in transport/udp's pconn
+// files) must load as the go tool would build them — exactly one side —
+// not collide as redeclarations.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tagged\n\ngo 1.22\n")
+	write("impl_linux.go", "//go:build linux\n\npackage tagged\n\nfunc impl() int { return 1 }\n")
+	write("impl_generic.go", "//go:build !linux\n\npackage tagged\n\nfunc impl() int { return 2 }\n")
+	write("use.go", "package tagged\n\nvar _ = impl\n")
+	prog, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if diags := prog.Run(nil); len(diags) != 0 {
+		t.Fatalf("unexpected findings: %v", diags)
 	}
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -339,7 +340,11 @@ func walkPackageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-// readPackageDir reads the non-test Go sources of one directory.
+// readPackageDir reads the non-test Go sources of one directory. Files
+// excluded from the host build by //go:build constraints or _GOOS/_GOARCH
+// filename suffixes are skipped, so platform-gated alternates of one
+// function (udp's pconn_linux.go vs pconn_generic.go) type-check as the
+// go tool would build them rather than colliding as redeclarations.
 func readPackageDir(dir string) (map[string][]byte, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -350,6 +355,9 @@ func readPackageDir(dir string) (map[string][]byte, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		full := filepath.Join(dir, name)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs/metrics"
 	"repro/internal/transport"
 	"repro/internal/transport/simnet"
@@ -14,16 +15,27 @@ import (
 
 // Config tunes the reliability layer.
 type Config struct {
-	// Window is the Go-Back-N window in packets per destination.
+	// Window is the Go-Back-N window ceiling in packets per destination.
+	// The effective window starts here and adapts downward under loss
+	// (multiplicative decrease on retransmit) and back up on clean ack
+	// runs (additive increase), never exceeding Window.
 	Window int
-	// RTO is the retransmission timeout. It must exceed the fabric's
-	// round-trip time comfortably. It is the FIRST retransmission delay;
-	// subsequent attempts back off exponentially (doubling, with jitter)
-	// up to RTOMax, so a dead peer costs O(log) retransmissions instead of
-	// a fixed-rate resend storm.
+	// MinWindow floors the multiplicative window decrease. Zero selects 2,
+	// clamped to Window.
+	MinWindow int
+	// RTO seeds the retransmission timeout. Until the first RTT sample it
+	// is the FIRST retransmission delay; subsequent attempts back off
+	// exponentially (doubling, with jitter) up to RTOMax, so a dead peer
+	// costs O(log) retransmissions instead of a fixed-rate resend storm.
+	// Once acks carry RTT samples, the timeout adapts per destination
+	// (SRTT + 4·RTTVAR, Jacobson/Karels) within [RTOMin, RTOMax].
 	RTO time.Duration
-	// RTOMax caps the exponential backoff between retransmission attempts.
-	// Zero selects 16×RTO.
+	// RTOMin floors the adaptive timeout so near-zero-latency fabrics
+	// don't collapse it into scheduler-jitter territory. Zero selects
+	// 1 ms, clamped to RTO.
+	RTOMin time.Duration
+	// RTOMax caps the exponential backoff between retransmission attempts
+	// and the adaptive timeout. Zero selects 16×RTO.
 	RTOMax time.Duration
 	// EagerMax is the largest message sent eagerly; longer messages
 	// perform RTS/CTS rendezvous first. Zero selects the default (32 KB,
@@ -40,8 +52,20 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 64
 	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 2
+	}
+	if c.MinWindow > c.Window {
+		c.MinWindow = c.Window
+	}
 	if c.RTO <= 0 {
 		c.RTO = 10 * time.Millisecond
+	}
+	if c.RTOMin <= 0 {
+		c.RTOMin = time.Millisecond
+	}
+	if c.RTOMin > c.RTO {
+		c.RTOMin = c.RTO
 	}
 	if c.RTOMax <= 0 {
 		c.RTOMax = 16 * c.RTO
@@ -60,24 +84,41 @@ func (c Config) withDefaults() Config {
 // (nanoseconds) — every field here is sync/atomic or composed of them, so
 // bumping stats never serializes delivery goroutines.
 type Stats struct {
-	Retransmits   atomic.Int64 //lint:guardedby atomic
-	DupsDiscarded atomic.Int64 //lint:guardedby atomic
-	OutOfOrder    atomic.Int64 //lint:guardedby atomic
-	RTSSent       atomic.Int64 //lint:guardedby atomic
-	CTSSent       atomic.Int64 //lint:guardedby atomic
-	AcksSent      atomic.Int64 //lint:guardedby atomic
-	MsgsDelivered atomic.Int64 //lint:guardedby atomic
-	Backoff       metrics.Histogram
+	Retransmits     atomic.Int64 //lint:guardedby atomic
+	FastRetransmits atomic.Int64 //lint:guardedby atomic
+	RTTSamples      atomic.Int64 //lint:guardedby atomic
+	DupsDiscarded   atomic.Int64 //lint:guardedby atomic
+	OutOfOrder      atomic.Int64 //lint:guardedby atomic
+	RTSSent         atomic.Int64 //lint:guardedby atomic
+	CTSSent         atomic.Int64 //lint:guardedby atomic
+	AcksSent        atomic.Int64 //lint:guardedby atomic
+	MsgsDelivered   atomic.Int64 //lint:guardedby atomic
+	Backoff         metrics.Histogram
 }
 
 // Conn is a node's reliable attachment: it implements transport.Endpoint
-// over a simnet endpoint.
+// over an unreliable PacketEndpoint (simnet or real UDP sockets).
 type Conn struct {
 	cfg     Config
-	ep      *simnet.Endpoint
-	handler transport.Handler
+	ep      PacketEndpoint
+	handler transport.Handler      // per-message dispatch; nil in batch mode
+	bh      transport.BatchHandler // batch dispatch; nil in handler mode
 	mtu     int
 	stats   Stats
+
+	// pending accumulates completed messages between Flush calls in batch
+	// mode. It is touched only by the packet network's single dispatch
+	// goroutine (the AttachPacketBatch contract), so it needs no lock.
+	pending []transport.Delivery
+
+	// ready gates inbound dispatch until attachPacket has finished wiring
+	// the Conn (in particular ep): a real packet network may start its read
+	// loop inside AttachPacket, before ep is assigned, and the goroutine
+	// spawn alone gives that loop no happens-before edge to the later
+	// write. attached is the post-close fast path so the steady state pays
+	// one atomic load per packet instead of a channel receive.
+	ready    chan struct{}
+	attached atomic.Bool
 
 	mu        sync.Mutex
 	senders   map[types.NID]*peerSender   //lint:guardedby mu
@@ -85,39 +126,116 @@ type Conn struct {
 	closed    bool                        //lint:guardedby mu
 }
 
-// Attach registers nid on the fabric with reliability on top. The handler
-// receives complete, exactly-once, in-order messages.
+// Attach registers nid on the simulated fabric with reliability on top.
+// The handler receives complete, exactly-once, in-order messages.
 func Attach(net *simnet.Network, nid types.NID, cfg Config, h transport.Handler) (*Conn, error) {
+	return AttachPacket(simPacketNetwork{net}, nid, cfg, h)
+}
+
+// AttachPacket registers nid on any unreliable packet network with
+// reliability on top. The handler receives complete, exactly-once,
+// in-order messages.
+func AttachPacket(pn PacketNetwork, nid types.NID, cfg Config, h transport.Handler) (*Conn, error) {
 	if h == nil {
 		return nil, fmt.Errorf("rtscts: nil handler")
 	}
+	return attachPacket(pn, nid, cfg, h, nil)
+}
+
+// AttachPacketBatch is AttachPacket with batched delivery: completed
+// messages accumulate until the packet network calls Flush, which hands
+// them to bh with buffer ownership per transport.BatchHandler. The network
+// MUST feed all packets for this Conn and call Flush from one goroutine
+// (its read loop); that single-goroutine dispatch is what lets the batch
+// accumulate without a lock.
+func AttachPacketBatch(pn PacketNetwork, nid types.NID, cfg Config, bh transport.BatchHandler) (*Conn, error) {
+	if bh == nil {
+		return nil, fmt.Errorf("rtscts: nil batch handler")
+	}
+	return attachPacket(pn, nid, cfg, nil, bh)
+}
+
+func attachPacket(pn PacketNetwork, nid types.NID, cfg Config, h transport.Handler, bh transport.BatchHandler) (*Conn, error) {
 	c := &Conn{
 		cfg:       cfg.withDefaults(),
 		handler:   h,
-		mtu:       net.MTU(),
+		bh:        bh,
+		mtu:       pn.MTU(),
 		senders:   make(map[types.NID]*peerSender),
 		receivers: make(map[types.NID]*peerReceiver),
+		ready:     make(chan struct{}),
 	}
 	if c.mtu <= pktHeaderSize {
 		return nil, fmt.Errorf("rtscts: fabric MTU %d too small for %d-byte headers", c.mtu, pktHeaderSize)
 	}
-	ep, err := net.Attach(nid, c.onPacket)
+	ep, err := pn.AttachPacket(nid, c.gatedPacket)
 	if err != nil {
 		return nil, err
 	}
 	c.ep = ep
+	c.attached.Store(true)
+	close(c.ready)
 	return c, nil
+}
+
+// gatedPacket is the handler registered with the packet network. It holds
+// early packets at the gate until attachPacket has published ep, then
+// degenerates to a single atomic load in front of onPacket.
+func (c *Conn) gatedPacket(src types.NID, pkt []byte) {
+	if !c.attached.Load() {
+		<-c.ready
+	}
+	c.onPacket(src, pkt)
 }
 
 // Stats exposes the protocol counters.
 func (c *Conn) Stats() *Stats { return &c.stats }
 
-// RegisterMetrics exposes the reliability-layer counters and the
-// retransmission-backoff histogram. Counter series are views over the
-// existing atomics; nothing on the packet paths changes.
+// PeerState is a snapshot of the adaptive reliability state toward one
+// destination, for tests and diagnostics.
+type PeerState struct {
+	SRTT     time.Duration // smoothed RTT; 0 until the first sample
+	RTTVar   time.Duration // RTT mean deviation
+	RTO      time.Duration // current adaptive retransmission timeout
+	Window   int           // current tx window (packets)
+	InFlight int           // unacked packets outstanding
+	Base     uint64        // lowest unacked sequence
+	NextSeq  uint64        // next sequence to assign
+}
+
+// Peer reports the window/RTT state toward dst; ok is false if no traffic
+// has been sent there yet.
+func (c *Conn) Peer(dst types.NID) (st PeerState, ok bool) {
+	c.mu.Lock()
+	s := c.senders[dst]
+	c.mu.Unlock()
+	if s == nil {
+		return PeerState{}, false
+	}
+	s.wmu.Lock()
+	st = PeerState{
+		SRTT:     s.srtt,
+		RTTVar:   s.rttvar,
+		RTO:      s.rto,
+		Window:   s.wnd,
+		InFlight: len(s.inFlight),
+		Base:     s.base,
+		NextSeq:  s.nextSeq,
+	}
+	s.wmu.Unlock()
+	return st, true
+}
+
+// RegisterMetrics exposes the reliability-layer counters, the
+// retransmission-backoff histogram, and the adaptive-window gauges.
+// Counter series are views over the existing atomics and the gauges read
+// per-sender atomic mirrors at exposition time only; nothing on the packet
+// paths changes.
 func (c *Conn) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
 	st := &c.stats
 	r.CounterFunc("portals_rtscts_retransmits_total", "Go-Back-N packets retransmitted", ls, st.Retransmits.Load)
+	r.CounterFunc("portals_rtscts_fast_retransmits_total", "fast retransmit events fired on dup-ack threshold", ls, st.FastRetransmits.Load)
+	r.CounterFunc("portals_rtscts_rtt_samples_total", "RTT samples accepted (Karn's rule)", ls, st.RTTSamples.Load)
 	r.CounterFunc("portals_rtscts_dups_total", "duplicate packets discarded", ls, st.DupsDiscarded.Load)
 	r.CounterFunc("portals_rtscts_out_of_order_total", "out-of-window packets discarded", ls, st.OutOfOrder.Load)
 	r.CounterFunc("portals_rtscts_rts_total", "rendezvous RTS announcements sent", ls, st.RTSSent.Load)
@@ -126,6 +244,46 @@ func (c *Conn) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
 	r.CounterFunc("portals_rtscts_delivered_total", "complete messages delivered in order", ls, st.MsgsDelivered.Load)
 	r.RegisterHistogram("portals_rtscts_backoff_ns",
 		"retransmission backoff delay per attempt (capped exponential, jittered)", ls, &st.Backoff)
+	// Window gauges aggregate across destinations: the slowest peer's SRTT
+	// and RTO (max) and the most-constricted window (min) are the numbers
+	// an operator watches. Exposition iterates the sender map under mu and
+	// reads lock-free atomic mirrors — exposition is off the packet paths.
+	r.GaugeFunc("portals_rtscts_srtt_ns", "largest per-peer smoothed RTT", ls, func() int64 {
+		var v int64
+		c.eachSender(func(s *peerSender) {
+			if n := s.srttNs.Load(); n > v {
+				v = n
+			}
+		})
+		return v
+	})
+	r.GaugeFunc("portals_rtscts_rto_ns", "largest per-peer adaptive retransmission timeout", ls, func() int64 {
+		var v int64
+		c.eachSender(func(s *peerSender) {
+			if n := s.rtoNs.Load(); n > v {
+				v = n
+			}
+		})
+		return v
+	})
+	r.GaugeFunc("portals_rtscts_window_pkts", "most-constricted per-peer tx window", ls, func() int64 {
+		var v int64
+		c.eachSender(func(s *peerSender) {
+			n := s.wndNow.Load()
+			if v == 0 || n < v {
+				v = n
+			}
+		})
+		return v
+	})
+}
+
+func (c *Conn) eachSender(fn func(*peerSender)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.senders {
+		fn(s)
+	}
 }
 
 // LocalNID reports the attached node id.
@@ -142,6 +300,22 @@ func (c *Conn) Send(dst types.NID, msg []byte) error {
 		return err
 	}
 	return s.enqueue(msg)
+}
+
+// Flush hands the completed messages accumulated since the last Flush to
+// the batch handler (ownership transfers per transport.Delivery). Batch
+// mode only; it must be called from the goroutine that feeds onPacket.
+// In handler mode it is a no-op.
+func (c *Conn) Flush() {
+	if c.bh == nil || len(c.pending) == 0 {
+		return
+	}
+	batch := c.pending
+	c.bh(batch)
+	for i := range batch {
+		batch[i] = transport.Delivery{}
+	}
+	c.pending = batch[:0]
 }
 
 // Close detaches from the fabric and stops all per-peer machinery.
@@ -191,8 +365,23 @@ func (c *Conn) receiver(src types.NID) *peerReceiver {
 	return r
 }
 
-// onPacket is the fabric-side entry point; it runs on simnet delivery
-// goroutines.
+// deliver dispatches one completed application message: batch mode
+// accumulates it for Flush (ownership moves into pending), handler mode
+// invokes the handler and recycles the pooled buffer.
+func (c *Conn) deliver(src types.NID, msg []byte, buf *bufpool.Buf) {
+	c.stats.MsgsDelivered.Add(1)
+	if c.bh != nil {
+		c.pending = append(c.pending, transport.Delivery{Src: src, Msg: msg, Buf: buf})
+		return
+	}
+	c.handler(src, msg)
+	if buf != nil {
+		buf.Release()
+	}
+}
+
+// onPacket is the fabric-side entry point; it runs on the packet network's
+// delivery goroutines.
 func (c *Conn) onPacket(src types.NID, pkt []byte) {
 	kind, flags, seq, aux, payload, err := decodePacket(pkt)
 	if err != nil {

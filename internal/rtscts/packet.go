@@ -1,0 +1,44 @@
+package rtscts
+
+import (
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// PacketHandler is invoked by a packet network with each raw datagram
+// addressed to the local node. src identifies the sending node; the callee
+// must not retain pkt after returning.
+type PacketHandler func(src types.NID, pkt []byte)
+
+// PacketEndpoint is a node's attachment to an unreliable packet fabric —
+// the service rtscts builds reliability on. SendPacket is best-effort
+// (loss, duplication, and reordering are the reliability layer's job) and
+// MUST NOT block: it is called from ack/delivery paths that portalsvet
+// proves non-blocking (application bypass, §5.1). Implementations enqueue
+// or tail-drop; they never wait on sockets or pacing.
+type PacketEndpoint interface {
+	SendPacket(dst types.NID, pkt []byte) error
+	LocalNID() types.NID
+	Close() error
+}
+
+// PacketNetwork is an unreliable datagram fabric rtscts can attach to.
+// Both the in-memory simulator (simnet) and the real-socket UDP transport
+// implement it; the reliability engine is identical over either.
+type PacketNetwork interface {
+	// AttachPacket registers nid and its raw-packet handler.
+	AttachPacket(nid types.NID, h PacketHandler) (PacketEndpoint, error)
+	// MTU reports the largest datagram the fabric carries.
+	MTU() int
+}
+
+// simPacketNetwork adapts *simnet.Network to PacketNetwork. simnet's
+// Endpoint already satisfies PacketEndpoint (SendPacket tail-drops when a
+// link queue is full — it never blocks).
+type simPacketNetwork struct{ n *simnet.Network }
+
+func (s simPacketNetwork) AttachPacket(nid types.NID, h PacketHandler) (PacketEndpoint, error) {
+	return s.n.Attach(nid, simnet.PacketHandler(h))
+}
+
+func (s simPacketNetwork) MTU() int { return s.n.MTU() }

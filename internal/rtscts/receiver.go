@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/types"
 )
 
@@ -22,10 +23,19 @@ type peerReceiver struct {
 	asmOpen  bool   //lint:guardedby mu
 }
 
+// completion is one fully reassembled message ready for dispatch.
+// Application payloads ride pooled buffers (buf non-nil) so steady-state
+// receive recycles memory; tiny control messages (RTS/CTS) are plain.
+type completion struct {
+	kind uint8
+	msg  []byte
+	buf  *bufpool.Buf
+}
+
 // onData processes one sequenced fragment per Go-Back-N: accept exactly
 // the expected sequence, acknowledge cumulatively, discard everything
 // else (duplicates and out-of-order packets trigger a duplicate ack that
-// speeds sender recovery).
+// speeds sender recovery — three of them fire the peer's fast retransmit).
 func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint64, payload []byte) {
 	r.mu.Lock()
 	if seq != r.expected {
@@ -42,10 +52,7 @@ func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint
 	r.expected++
 
 	// In-order fragment: feed reassembly.
-	var complete []struct {
-		kind uint8
-		msg  []byte
-	}
+	var complete []completion
 	if flags&flagFirst != 0 {
 		r.asmKind = msgKind(flags)
 		r.asmTotal = aux
@@ -55,12 +62,16 @@ func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint
 	if r.asmOpen {
 		r.asmBuf = append(r.asmBuf, payload...)
 		if uint64(len(r.asmBuf)) >= r.asmTotal {
-			msg := make([]byte, r.asmTotal)
-			copy(msg, r.asmBuf[:r.asmTotal])
-			complete = append(complete, struct {
-				kind uint8
-				msg  []byte
-			}{r.asmKind, msg})
+			var done completion
+			done.kind = r.asmKind
+			if r.asmKind == msgApp {
+				done.buf = bufpool.Get(int(r.asmTotal))
+				done.msg = done.buf.Bytes()
+			} else {
+				done.msg = make([]byte, r.asmTotal)
+			}
+			copy(done.msg, r.asmBuf[:r.asmTotal])
+			complete = append(complete, done)
 			r.asmOpen = false
 		}
 	}
@@ -72,8 +83,7 @@ func (c *Conn) onData(src types.NID, r *peerReceiver, flags uint8, seq, aux uint
 	for _, m := range complete {
 		switch m.kind {
 		case msgApp:
-			c.stats.MsgsDelivered.Add(1)
-			c.handler(src, m.msg)
+			c.deliver(src, m.msg, m.buf)
 		case msgRTS:
 			// Rendezvous announcement: grant immediately. A production
 			// implementation would check receive-buffer budget here; the

@@ -4,14 +4,35 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs/trace"
 	"repro/internal/types"
 )
 
+// dupAckThreshold is the number of duplicate cumulative acks at the window
+// base that triggers a fast retransmit (TCP's classic threshold: fewer and
+// plain reordering fires spurious resends, more and recovery lags).
+const dupAckThreshold = 3
+
+// txPkt is one sequenced packet awaiting acknowledgment. sent timestamps
+// the most recent transmission; retx marks packets that have ever been
+// retransmitted, which Karn's rule excludes from RTT sampling (an ack for
+// a retransmitted packet is ambiguous — it may answer either transmission).
+type txPkt struct {
+	data []byte
+	sent time.Time
+	retx bool
+}
+
 // peerSender owns the reliable stream toward one destination: the message
-// queue, the Go-Back-N window, and the retransmission timer.
+// queue, the Go-Back-N window, and the retransmission timer. The window is
+// self-tuning: the retransmission timeout tracks the measured RTT
+// (Jacobson/Karels), three duplicate acks trigger an immediate Go-Back-N
+// resend without waiting out the timer, and the window width adapts —
+// multiplicative decrease on any retransmission, additive increase on
+// clean ack runs — between cfg.MinWindow and cfg.Window.
 type peerSender struct {
 	c   *Conn
 	dst types.NID
@@ -34,15 +55,33 @@ type peerSender struct {
 	//lint:lockrank peerSender.txMu < peerSender.wmu
 	//lint:lockrank peerSender.txMu < Network.mu
 	//lint:lockrank peerSender.txMu < link.mu
+	//lint:lockrank peerSender.txMu < node.qmu
 	txMu sync.Mutex
 
-	// Window state, guarded by wmu.
+	// Window state, guarded by wmu. Packets are sent after wmu is
+	// released — never under it — so wmu ranks below nothing on the
+	// transmit side.
 	wmu      sync.Mutex
 	wcond    *sync.Cond
 	nextSeq  uint64    //lint:guardedby wmu
 	base     uint64    //lint:guardedby wmu  lowest unacked sequence
-	inFlight [][]byte  //lint:guardedby wmu  encoded packets [base, nextSeq), for retransmission
+	inFlight []txPkt   //lint:guardedby wmu  packets [base, nextSeq), for retransmission
 	lastSend time.Time //lint:guardedby wmu
+
+	// Adaptive state, guarded by wmu.
+	srtt    time.Duration //lint:guardedby wmu  smoothed RTT; 0 = no samples yet
+	rttvar  time.Duration //lint:guardedby wmu  RTT mean deviation
+	rto     time.Duration //lint:guardedby wmu  adaptive timeout, [RTOMin, RTOMax]
+	wnd     int           //lint:guardedby wmu  current window width
+	ackRun  int           //lint:guardedby wmu  acked pkts since last growth/retransmit
+	dupAcks int           //lint:guardedby wmu  consecutive dup cumacks at base
+	recover uint64        //lint:guardedby wmu  fast-retx disabled until base reaches this
+
+	// Lock-free mirrors of srtt/rto/wnd for metrics exposition; written
+	// under wmu, read anywhere.
+	srttNs atomic.Int64 //lint:guardedby atomic
+	rtoNs  atomic.Int64 //lint:guardedby atomic
+	wndNow atomic.Int64 //lint:guardedby atomic
 
 	// Rendezvous: grants arrive from the receive path.
 	ctsCh chan struct{}
@@ -54,6 +93,10 @@ func newPeerSender(c *Conn, dst types.NID) *peerSender {
 	s := &peerSender{c: c, dst: dst, ctsCh: make(chan struct{}, 4), done: make(chan struct{})}
 	s.qcond = sync.NewCond(&s.qmu)
 	s.wcond = sync.NewCond(&s.wmu)
+	s.rto = c.cfg.RTO
+	s.wnd = c.cfg.Window
+	s.rtoNs.Store(int64(s.rto))
+	s.wndNow.Store(int64(s.wnd))
 	go s.run()
 	go s.retransmitLoop()
 	return s
@@ -179,7 +222,7 @@ func (s *peerSender) sendMessage(kind uint8, payload []byte) {
 // retransmission, and transmits it, blocking while the window is full.
 func (s *peerSender) sendReliable(flags uint8, aux uint64, payload []byte) {
 	s.wmu.Lock()
-	for s.nextSeq-s.base >= uint64(s.c.cfg.Window) && !s.isClosedFast() {
+	for s.nextSeq-s.base >= uint64(s.wnd) && !s.isClosedFast() {
 		s.wcond.Wait()
 	}
 	if s.isClosedFast() {
@@ -189,8 +232,9 @@ func (s *peerSender) sendReliable(flags uint8, aux uint64, payload []byte) {
 	seq := s.nextSeq
 	s.nextSeq++
 	pkt := encodePacket(pktData, flags, seq, aux, payload)
-	s.inFlight = append(s.inFlight, pkt)
-	s.lastSend = time.Now()
+	now := time.Now()
+	s.inFlight = append(s.inFlight, txPkt{data: pkt, sent: now})
+	s.lastSend = now
 	s.wmu.Unlock()
 
 	// Packet-level spans are keyed (src NID, pid 0, packet seq); pid 0
@@ -210,8 +254,59 @@ func (s *peerSender) isClosedFast() bool {
 	}
 }
 
-// onAck processes a cumulative acknowledgment: everything below cumAck is
-// delivered; release window space.
+// observeRTT folds one round-trip sample into the smoothed estimator and
+// recomputes the timeout (Jacobson/Karels: RTO = SRTT + 4·RTTVAR, clamped
+// to [RTOMin, RTOMax]). Called with wmu held.
+//
+//lint:requires wmu
+func (s *peerSender) observeRTT(sample time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.c.cfg.RTOMin {
+		rto = s.c.cfg.RTOMin
+	}
+	if rto > s.c.cfg.RTOMax {
+		rto = s.c.cfg.RTOMax
+	}
+	s.rto = rto
+	s.c.stats.RTTSamples.Add(1)
+	s.srttNs.Store(int64(s.srtt))
+	s.rtoNs.Store(int64(rto))
+}
+
+// shrinkWindow applies multiplicative decrease num/den, flooring at
+// MinWindow, and resets the growth run. Called with wmu held.
+//
+//lint:requires wmu
+func (s *peerSender) shrinkWindow(num, den int) {
+	w := s.wnd * num / den
+	if w < s.c.cfg.MinWindow {
+		w = s.c.cfg.MinWindow
+	}
+	if w != s.wnd {
+		s.wnd = w
+		s.wndNow.Store(int64(w))
+	}
+	s.ackRun = 0
+}
+
+// onAck processes a cumulative acknowledgment. Progress (cumAck > base)
+// releases window space, samples the RTT from the newest acked
+// never-retransmitted packet (Karn's rule), and grows the window additively
+// after a full window of clean acks. A duplicate cumAck at base signals the
+// receiver is discarding out-of-order packets past a hole; the third such
+// dup-ack fires an immediate Go-Back-N resend (fast retransmit), once per
+// outstanding window.
 func (s *peerSender) onAck(cumAck uint64) {
 	s.wmu.Lock()
 	if cumAck > s.base {
@@ -219,30 +314,89 @@ func (s *peerSender) onAck(cumAck uint64) {
 		if n > uint64(len(s.inFlight)) {
 			n = uint64(len(s.inFlight))
 		}
+		now := time.Now()
+		sample := time.Duration(-1)
+		for i := int(n) - 1; i >= 0; i-- {
+			if !s.inFlight[i].retx {
+				sample = now.Sub(s.inFlight[i].sent)
+				break
+			}
+		}
 		s.inFlight = s.inFlight[n:]
 		s.base += n
-		s.lastSend = time.Now()
+		s.lastSend = now
+		s.dupAcks = 0
+		if sample >= 0 {
+			s.observeRTT(sample)
+		}
+		s.ackRun += int(n)
+		if s.ackRun >= s.wnd && s.wnd < s.c.cfg.Window {
+			s.wnd++
+			s.ackRun = 0
+			s.wndNow.Store(int64(s.wnd))
+		}
 		s.wmu.Unlock()
 		s.wcond.Broadcast()
 		return
 	}
+	// Duplicate cumulative ack at the window base with data outstanding:
+	// the receiver saw something past a hole. Count toward fast
+	// retransmit, but only once per window (NewReno-style recover guard —
+	// dup-acks generated by our own resend burst must not re-fire it).
+	if cumAck == s.base && len(s.inFlight) > 0 && s.base >= s.recover {
+		s.dupAcks++
+		if s.dupAcks >= dupAckThreshold {
+			s.dupAcks = 0
+			s.recover = s.nextSeq
+			resend := make([][]byte, len(s.inFlight))
+			for i := range s.inFlight {
+				s.inFlight[i].retx = true
+				resend[i] = s.inFlight[i].data
+			}
+			s.lastSend = time.Now()
+			s.shrinkWindow(3, 4)
+			baseSeq := s.base
+			s.wmu.Unlock()
+			s.fastRetransmit(baseSeq, resend)
+			return
+		}
+	}
 	s.wmu.Unlock()
 }
 
-// retransmitLoop implements Go-Back-N recovery with capped exponential
-// backoff: the first resend fires one RTO after the window stalls, and each
-// consecutive resend without window progress doubles the delay — jittered
-// upward by up to 25% — until RTOMax. Any cumulative-ack progress resets
-// the schedule to RTO. Backoff bounds the bandwidth a dead or partitioned
-// peer can soak up, and the jitter keeps peers that shared one loss event
-// from resynchronizing their retransmission bursts.
+// fastRetransmit resends the window immediately (no locks held: packet
+// emission nests network locks and must stay off wmu).
+func (s *peerSender) fastRetransmit(baseSeq uint64, resend [][]byte) {
+	s.c.stats.FastRetransmits.Add(1)
+	traced := trace.Enabled()
+	for i, pkt := range resend {
+		s.c.stats.Retransmits.Add(1)
+		if traced {
+			trace.Record(trace.StageRetransmit, uint32(s.c.LocalNID()), 0,
+				baseSeq+uint64(i), 0)
+		}
+		_ = s.c.ep.SendPacket(s.dst, pkt)
+	}
+}
+
+// retransmitLoop implements Go-Back-N timeout recovery with capped
+// exponential backoff: the first resend fires one RTO after the window
+// stalls — where RTO is the adaptive per-peer timeout once RTT samples
+// exist, or cfg.RTO before any — and each consecutive resend without
+// window progress doubles the delay — jittered upward by up to 25% — until
+// RTOMax. Any cumulative-ack progress resets the schedule to the current
+// RTO. Backoff bounds the bandwidth a dead or partitioned peer can soak
+// up, and the jitter keeps peers that shared one loss event from
+// resynchronizing their retransmission bursts. A timeout retransmission
+// also halves the tx window (multiplicative decrease): timer expiry is the
+// strongest congestion signal the sender gets.
 func (s *peerSender) retransmitLoop() {
-	rto := s.c.cfg.RTO
 	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(s.dst)<<17))
-	delay := rto               // current stall threshold / inter-attempt gap
-	lastBase := uint64(0)      // window base at the previous wakeup
-	poll := jitter(rng, rto/2) // idle-granularity wakeup, as the old ticker had
-	timer := time.NewTimer(poll)
+	s.wmu.Lock()
+	delay := s.rto // current stall threshold / inter-attempt gap
+	s.wmu.Unlock()
+	lastBase := uint64(0) // window base at the previous wakeup
+	timer := time.NewTimer(jitter(rng, delay/2))
 	defer timer.Stop()
 	for {
 		select {
@@ -251,6 +405,7 @@ func (s *peerSender) retransmitLoop() {
 		case <-timer.C:
 		}
 		s.wmu.Lock()
+		rto := s.rto
 		if s.base != lastBase {
 			// The peer acked something since we last looked: the path is
 			// alive, so collapse the backoff schedule back to one RTO.
@@ -261,12 +416,19 @@ func (s *peerSender) retransmitLoop() {
 		var resend [][]byte
 		baseSeq := s.base
 		if stuck {
-			resend = append(resend, s.inFlight...)
+			resend = make([][]byte, len(s.inFlight))
+			for i := range s.inFlight {
+				s.inFlight[i].retx = true
+				resend[i] = s.inFlight[i].data
+			}
 			s.lastSend = time.Now()
+			s.dupAcks = 0
+			s.shrinkWindow(1, 2)
 		}
 		s.wmu.Unlock()
 
-		wait := poll
+		// Idle-granularity wakeup tracks the adaptive timeout.
+		wait := jitter(rng, rto/2)
 		if stuck {
 			s.c.stats.Backoff.Observe(int64(delay))
 			traced := trace.Enabled()

@@ -1,0 +1,436 @@
+package rtscts
+
+// Whitebox tests for the self-tuning window machinery: RTO estimation
+// (Jacobson/Karels with Karn's rule), dup-ack fast retransmit with the
+// once-per-window recover guard, multiplicative window decrease on both
+// retransmission kinds, additive regrowth on clean ack runs, and the
+// batch delivery mode the UDP transport uses.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// blackholeConn attaches a conn whose peer NID is never attached, so every
+// data packet vanishes and the test injects acks by hand — the only way to
+// drive the ack state machine deterministically.
+func blackholeConn(t *testing.T, cfg Config) (*Conn, *peerSender) {
+	t.Helper()
+	net := simnet.New(simnet.Instant())
+	c, err := Attach(net, 1, cfg, func(types.NID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); net.Close() })
+	s, err := c.sender(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func waitInFlight(t *testing.T, c *Conn, dst types.NID, n int) PeerState {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := c.Peer(dst)
+		if ok && st.InFlight == n {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never reached %d (now %+v)", n, st)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// quietCfg keeps the retransmit timer out of the way so injected acks are
+// the only events.
+func quietCfg(window int) Config {
+	return Config{Window: window, RTO: 5 * time.Second, RTOMin: 5 * time.Second}
+}
+
+func TestFastRetransmitFiresOnThirdDupAck(t *testing.T) {
+	c, s := blackholeConn(t, quietCfg(8))
+	for i := 0; i < 4; i++ {
+		if err := c.Send(99, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitInFlight(t, c, 99, 4)
+
+	s.onAck(0)
+	s.onAck(0)
+	if got := c.stats.FastRetransmits.Load(); got != 0 {
+		t.Fatalf("fast retransmit fired after 2 dup acks (count %d)", got)
+	}
+	s.onAck(0)
+	if got := c.stats.FastRetransmits.Load(); got != 1 {
+		t.Fatalf("fast retransmits after 3rd dup ack = %d, want 1", got)
+	}
+	if got := c.stats.Retransmits.Load(); got != 4 {
+		t.Fatalf("go-back-n resend sent %d packets, want the whole window (4)", got)
+	}
+	st, _ := c.Peer(99)
+	if st.Window != 6 { // 8 * 3/4
+		t.Fatalf("window after fast retransmit = %d, want 6", st.Window)
+	}
+
+	// The recover guard: dup acks from our own resend burst must not
+	// re-fire until the whole outstanding window is acked.
+	for i := 0; i < 5; i++ {
+		s.onAck(0)
+	}
+	if got := c.stats.FastRetransmits.Load(); got != 1 {
+		t.Fatalf("fast retransmit re-fired inside recovery (count %d)", got)
+	}
+
+	// Partial progress keeps the guard: base 2 < recover 4.
+	s.onAck(2)
+	for i := 0; i < 4; i++ {
+		s.onAck(2)
+	}
+	if got := c.stats.FastRetransmits.Load(); got != 1 {
+		t.Fatalf("fast retransmit re-fired below recover point (count %d)", got)
+	}
+
+	// Full recovery re-arms it.
+	s.onAck(4)
+	for i := 0; i < 3; i++ {
+		if err := c.Send(99, []byte{0xAA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitInFlight(t, c, 99, 3)
+	s.onAck(4)
+	s.onAck(4)
+	s.onAck(4)
+	if got := c.stats.FastRetransmits.Load(); got != 2 {
+		t.Fatalf("fast retransmit did not re-arm after recovery (count %d)", got)
+	}
+}
+
+func TestWindowRegrowsOnCleanAckRuns(t *testing.T) {
+	c, s := blackholeConn(t, quietCfg(8))
+	for i := 0; i < 4; i++ {
+		if err := c.Send(99, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitInFlight(t, c, 99, 4)
+	s.onAck(0)
+	s.onAck(0)
+	s.onAck(0) // fast retransmit: window 8 -> 6
+	if st, _ := c.Peer(99); st.Window != 6 {
+		t.Fatalf("window = %d, want 6", st.Window)
+	}
+	s.onAck(4) // recovery complete
+
+	// Each full window of clean acks grows the window by one.
+	base := uint64(4)
+	for grown := 0; grown < 2; grown++ {
+		for fed := 0; fed < 8; { // 8 acked pkts per round trips ackRun >= wnd
+			n := 4
+			for i := 0; i < n; i++ {
+				if err := c.Send(99, []byte{0xBB}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitInFlight(t, c, 99, n)
+			base += uint64(n)
+			s.onAck(base)
+			fed += n
+		}
+	}
+	if st, _ := c.Peer(99); st.Window != 8 {
+		t.Fatalf("window after clean ack runs = %d, want regrown to 8", st.Window)
+	}
+
+	// Growth is capped at the configured ceiling.
+	for i := 0; i < 4; i++ {
+		if err := c.Send(99, []byte{0xCC}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitInFlight(t, c, 99, 4)
+	base += 4
+	s.onAck(base)
+	if st, _ := c.Peer(99); st.Window != 8 {
+		t.Fatalf("window exceeded ceiling: %d", st.Window)
+	}
+}
+
+func TestKarnRuleSkipsRetransmittedSamples(t *testing.T) {
+	c, s := blackholeConn(t, quietCfg(8))
+	for i := 0; i < 2; i++ {
+		if err := c.Send(99, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitInFlight(t, c, 99, 2)
+	s.wmu.Lock()
+	for i := range s.inFlight {
+		s.inFlight[i].retx = true
+	}
+	s.wmu.Unlock()
+	s.onAck(2)
+	if got := c.stats.RTTSamples.Load(); got != 0 {
+		t.Fatalf("RTT sampled from retransmitted packets (%d samples)", got)
+	}
+	if st, _ := c.Peer(99); st.SRTT != 0 {
+		t.Fatalf("SRTT = %v from retransmitted packets, want 0", st.SRTT)
+	}
+
+	// A clean packet acked afterwards does produce a sample.
+	if err := c.Send(99, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, c, 99, 1)
+	s.onAck(3)
+	if got := c.stats.RTTSamples.Load(); got != 1 {
+		t.Fatalf("RTT samples = %d, want 1", got)
+	}
+	if st, _ := c.Peer(99); st.SRTT <= 0 {
+		t.Fatalf("SRTT = %v, want > 0", st.SRTT)
+	}
+}
+
+func TestWindowShrinksOnTimeoutRetransmit(t *testing.T) {
+	cfg := Config{Window: 8, RTO: 2 * time.Millisecond, RTOMax: 8 * time.Millisecond}
+	c, _ := blackholeConn(t, cfg)
+	for i := 0; i < 4; i++ {
+		if err := c.Send(99, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.stats.Retransmits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout retransmission never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := c.Peer(99)
+	if st.Window >= 8 {
+		t.Fatalf("window = %d after timeout retransmit, want < 8", st.Window)
+	}
+	if st.Window < 2 {
+		t.Fatalf("window = %d, shrank below MinWindow floor 2", st.Window)
+	}
+}
+
+func TestRTOConvergesToMeasuredRTT(t *testing.T) {
+	// 1 ms one-way latency -> ~2 ms RTT. The configured RTO starts at
+	// 100 ms; with samples flowing it must collapse toward the real RTT.
+	net := simnet.New(simnet.Config{Latency: time.Millisecond, MTU: 4096})
+	defer net.Close()
+	got := make(chan []byte, 256)
+	rc, err := Attach(net, 2, DefaultConfig(), func(_ types.NID, msg []byte) {
+		m := make([]byte, len(msg))
+		copy(m, msg)
+		got <- m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	sc, err := Attach(net, 1, Config{Window: 16, RTO: 100 * time.Millisecond}, func(types.NID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := sc.Send(2, []byte(fmt.Sprintf("msg-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-got:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d messages arrived", i, n)
+		}
+	}
+	st, ok := sc.Peer(2)
+	if !ok {
+		t.Fatal("no peer state")
+	}
+	if sc.stats.RTTSamples.Load() == 0 {
+		t.Fatal("no RTT samples collected")
+	}
+	if st.SRTT < time.Millisecond || st.SRTT > 40*time.Millisecond {
+		t.Fatalf("SRTT = %v, want on the order of the 2 ms fabric RTT", st.SRTT)
+	}
+	if st.RTO >= 100*time.Millisecond {
+		t.Fatalf("RTO = %v, never converged below the configured 100 ms", st.RTO)
+	}
+	if st.RTO < time.Millisecond {
+		t.Fatalf("RTO = %v, fell below RTOMin", st.RTO)
+	}
+}
+
+// fakeBurstNet is a minimal PacketNetwork with the UDP transport's
+// dispatch shape: one goroutine per node drains a queue, hands each packet
+// to the conn, and calls Flush at burst boundaries. It exists to test
+// AttachPacketBatch's accumulate-then-Flush contract in-process.
+type fakeBurstNet struct {
+	mu    sync.Mutex
+	nodes map[types.NID]*fakeBurstEP
+}
+
+type fakeBurstPkt struct {
+	src  types.NID
+	data []byte
+}
+
+type fakeBurstEP struct {
+	net *fakeBurstNet
+	nid types.NID
+	h   PacketHandler
+	ch  chan fakeBurstPkt
+
+	mu    sync.Mutex
+	flush func()
+}
+
+func newFakeBurstNet() *fakeBurstNet {
+	return &fakeBurstNet{nodes: make(map[types.NID]*fakeBurstEP)}
+}
+
+func (n *fakeBurstNet) MTU() int { return 1024 }
+
+func (n *fakeBurstNet) AttachPacket(nid types.NID, h PacketHandler) (PacketEndpoint, error) {
+	ep := &fakeBurstEP{net: n, nid: nid, h: h, ch: make(chan fakeBurstPkt, 4096)}
+	n.mu.Lock()
+	n.nodes[nid] = ep
+	n.mu.Unlock()
+	go ep.dispatch()
+	return ep, nil
+}
+
+func (ep *fakeBurstEP) setFlush(f func()) {
+	ep.mu.Lock()
+	ep.flush = f
+	ep.mu.Unlock()
+}
+
+func (ep *fakeBurstEP) dispatch() {
+	for pkt := range ep.ch {
+		ep.h(pkt.src, pkt.data)
+	drain:
+		for {
+			select {
+			case more, ok := <-ep.ch:
+				if !ok {
+					return
+				}
+				ep.h(more.src, more.data)
+			default:
+				break drain
+			}
+		}
+		ep.mu.Lock()
+		f := ep.flush
+		ep.mu.Unlock()
+		if f != nil {
+			f()
+		}
+	}
+}
+
+func (ep *fakeBurstEP) SendPacket(dst types.NID, pkt []byte) error {
+	ep.net.mu.Lock()
+	peer := ep.net.nodes[dst]
+	ep.net.mu.Unlock()
+	if peer == nil {
+		return nil // unreachable peer: silent loss
+	}
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+	select {
+	case peer.ch <- fakeBurstPkt{src: ep.nid, data: cp}:
+	default: // queue full: tail drop
+	}
+	return nil
+}
+
+func (ep *fakeBurstEP) LocalNID() types.NID { return ep.nid }
+func (ep *fakeBurstEP) Close() error        { return nil }
+
+func TestBatchModeDeliversPooledBatches(t *testing.T) {
+	net := newFakeBurstNet()
+	type rx struct {
+		src types.NID
+		msg string
+		buf bool
+	}
+	var rmu sync.Mutex
+	var seen []rx
+	var batches int
+	rc, err := AttachPacketBatch(net, 2, DefaultConfig(), func(batch []transport.Delivery) {
+		rmu.Lock()
+		batches++
+		for i := range batch {
+			seen = append(seen, rx{batch[i].Src, string(batch[i].Msg), batch[i].Buf != nil})
+			batch[i].Release()
+		}
+		rmu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	net.nodes[2].setFlush(rc.Flush)
+
+	sc, err := AttachPacket(net, 1, DefaultConfig(), func(types.NID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	net.nodes[1].setFlush(sc.Flush) // handler mode: Flush is a no-op
+
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := sc.Send(2, []byte(fmt.Sprintf("batch-msg-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rmu.Lock()
+		done := len(seen) == n
+		rmu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			rmu.Lock()
+			t.Fatalf("only %d/%d messages delivered", len(seen), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rmu.Lock()
+	defer rmu.Unlock()
+	for i, r := range seen {
+		if r.src != 1 {
+			t.Fatalf("message %d from %d, want 1", i, r.src)
+		}
+		if want := fmt.Sprintf("batch-msg-%04d", i); r.msg != want {
+			t.Fatalf("message %d = %q, want %q (order violated?)", i, r.msg, want)
+		}
+		if !r.buf {
+			t.Fatalf("message %d delivered without a pooled buffer", i)
+		}
+	}
+	if batches > n {
+		t.Fatalf("%d batches for %d messages — Flush never coalesced", batches, n)
+	}
+}

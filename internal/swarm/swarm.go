@@ -26,7 +26,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/nicsim"
 	"repro/internal/obs/metrics"
+	"repro/internal/transport"
 	"repro/internal/transport/loopback"
+	"repro/internal/transport/udp"
 	"repro/internal/types"
 )
 
@@ -79,6 +81,11 @@ type Config struct {
 	Warmup int
 	// Seed feeds target selection. Default 1.
 	Seed int64
+	// Transport selects the fabric under the harness: "loopback" (default,
+	// in-process, measures the engine alone) or "udp" (real kernel
+	// datagram sockets under the rtscts reliability engine — measures the
+	// whole stack down to the wire).
+	Transport string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Transport == "" {
+		c.Transport = "loopback"
 	}
 	return c
 }
@@ -174,7 +184,15 @@ type driver struct {
 // Run executes one swarm experiment.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	net := loopback.New()
+	var net transport.Network
+	switch cfg.Transport {
+	case "loopback":
+		net = loopback.New()
+	case "udp":
+		net = udp.New()
+	default:
+		return nil, fmt.Errorf("swarm: unknown transport %q (want loopback or udp)", cfg.Transport)
+	}
 	defer net.Close()
 
 	// --- target fabric -------------------------------------------------

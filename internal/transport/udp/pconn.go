@@ -1,0 +1,48 @@
+package udp
+
+import "net"
+
+// packetConn abstracts the batched datagram syscalls over one socket.
+// writeBatch transmits up to maxWriteBurst framed packets, best-effort
+// (an unsendable packet is dropped — datagram loss the reliability layer
+// repairs), returning datagrams written and syscall bursts used.
+// readBatch blocks for at least one datagram, drains as many as are ready
+// into bufs (recording lengths in sizes), and returns the count; it
+// returns an error only when the socket is closed.
+//
+// The portable implementation (pconn_generic.go) is a WriteToUDP loop and
+// a single blocking ReadFromUDP; linux/amd64 (pconn_linux.go) vectors
+// both through sendmmsg/recvmmsg so a burst costs one syscall.
+type packetConn interface {
+	writeBatch(pkts []outPkt) (written, bursts int)
+	readBatch(bufs [][]byte, sizes []int) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+}
+
+// genericConn is the portable packetConn: one syscall per datagram.
+type genericConn struct {
+	sock *net.UDPConn
+}
+
+func (c *genericConn) writeBatch(pkts []outPkt) (written, bursts int) {
+	for i := range pkts {
+		if _, err := c.sock.WriteToUDP(pkts[i].buf.Bytes(), pkts[i].addr); err == nil {
+			written++
+		}
+		bursts++
+	}
+	return written, bursts
+}
+
+func (c *genericConn) readBatch(bufs [][]byte, sizes []int) (int, error) {
+	n, _, err := c.sock.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}
+
+func (c *genericConn) Close() error        { return c.sock.Close() }
+func (c *genericConn) LocalAddr() net.Addr { return c.sock.LocalAddr() }

@@ -1,0 +1,12 @@
+//go:build !(linux && amd64)
+
+package udp
+
+import "net"
+
+// hasMmsgFastPath reports whether this build vectors syscalls.
+const hasMmsgFastPath = false
+
+// newPacketConn selects the portable one-syscall-per-datagram path on
+// platforms without the mmsg fast path.
+func newPacketConn(sock *net.UDPConn) packetConn { return &genericConn{sock: sock} }

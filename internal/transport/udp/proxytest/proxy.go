@@ -1,0 +1,195 @@
+// Package proxytest provides a lossy UDP relay for exercising the
+// reliability engine over real sockets: a Relay binds its own port,
+// forwards every datagram to one fixed target, and misbehaves on the way
+// — dropping, duplicating, reordering, and delaying packets under
+// configurable rates that can change at runtime (for shrink-then-regrow
+// window experiments).
+//
+// Interposition is per direction: because the udp transport identifies
+// peers by the frame header rather than the source address, pointing A's
+// registry entry for B at a Relay (and B's entry for A at another) routes
+// each direction's traffic through its own fault injector with no address
+// rewriting at all.
+package proxytest
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the fault rates. All probabilities are in [0, 1].
+type Config struct {
+	// Drop is the probability a datagram vanishes.
+	Drop float64
+	// Dup is the probability a datagram is forwarded twice.
+	Dup float64
+	// Reorder is the probability a datagram is held back and released
+	// after the next one (a distance-1 swap — the classic mild
+	// reordering a multipath network produces). A held datagram is
+	// flushed after holdMax if nothing follows it.
+	Reorder float64
+	// Delay is added to every forwarded datagram; Jitter adds a uniform
+	// random extra in [0, Jitter).
+	Delay  time.Duration
+	Jitter time.Duration
+	// Seed makes the fault sequence reproducible; 0 seeds from the clock.
+	Seed int64
+}
+
+// Stats counts relay activity; all fields are atomics.
+type Stats struct {
+	Forwarded  atomic.Int64
+	Dropped    atomic.Int64
+	Duplicated atomic.Int64
+	Reordered  atomic.Int64
+}
+
+// holdMax bounds how long a reorder-held datagram waits for a successor.
+const holdMax = 10 * time.Millisecond
+
+// Relay is a unidirectional lossy UDP forwarder.
+type Relay struct {
+	in    *net.UDPConn
+	dst   *net.UDPAddr
+	stats Stats
+
+	mu  sync.Mutex
+	cfg Config // guarded by mu; SetConfig swaps it at runtime
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a relay forwarding to target, listening on an ephemeral
+// localhost port (see Addr).
+func New(target string, cfg Config) (*Relay, error) {
+	dst, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, fmt.Errorf("proxytest: target: %w", err)
+	}
+	in, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("proxytest: bind: %w", err)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	r := &Relay{in: in, dst: dst, cfg: cfg, done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.run()
+	return r, nil
+}
+
+// Addr is the relay's listening address — register it as the target
+// node's address to interpose the relay.
+func (r *Relay) Addr() string { return r.in.LocalAddr().String() }
+
+// Stats exposes the relay counters.
+func (r *Relay) Stats() *Stats { return &r.stats }
+
+// SetConfig replaces the fault configuration at runtime (the Seed field
+// is ignored; the running sequence continues).
+func (r *Relay) SetConfig(cfg Config) {
+	r.mu.Lock()
+	cfg.Seed = r.cfg.Seed
+	r.cfg = cfg
+	r.mu.Unlock()
+}
+
+func (r *Relay) config() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// Close stops the relay.
+func (r *Relay) Close() {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	close(r.done)
+	r.in.Close()
+	r.wg.Wait()
+}
+
+func (r *Relay) run() {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(r.config().Seed))
+	buf := make([]byte, 65536)
+	var held []byte // reorder hold slot
+	heldAt := time.Time{}
+	for {
+		if held != nil {
+			// A datagram is held for the swap: wait bounded time for a
+			// successor, then flush it so reordering never becomes loss.
+			r.in.SetReadDeadline(heldAt.Add(holdMax))
+		} else {
+			r.in.SetReadDeadline(time.Time{})
+		}
+		n, _, err := r.in.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				r.forward(held, r.config())
+				held = nil
+				continue
+			}
+			if held != nil {
+				r.forward(held, r.config())
+			}
+			return // socket closed
+		}
+		cfg := r.config()
+		pkt := buf[:n]
+		if rng.Float64() < cfg.Drop {
+			r.stats.Dropped.Add(1)
+			continue
+		}
+		if held == nil && rng.Float64() < cfg.Reorder {
+			held = append([]byte(nil), pkt...)
+			heldAt = time.Now()
+			r.stats.Reordered.Add(1)
+			continue
+		}
+		r.forward(pkt, cfg)
+		if rng.Float64() < cfg.Dup {
+			r.stats.Duplicated.Add(1)
+			r.forward(pkt, cfg)
+		}
+		if held != nil {
+			// The swap: the successor has gone ahead; release the held
+			// datagram behind it.
+			r.forward(held, cfg)
+			held = nil
+		}
+	}
+}
+
+// forward transmits one datagram toward the target, applying delay/jitter.
+func (r *Relay) forward(pkt []byte, cfg Config) {
+	if pkt == nil {
+		return
+	}
+	r.stats.Forwarded.Add(1)
+	d := cfg.Delay
+	if cfg.Jitter > 0 {
+		// Jitter pulls from the clock, not the fault rng: forward runs on
+		// timer goroutines too, and fault reproducibility only needs the
+		// drop/dup/reorder sequence stable.
+		d += time.Duration(time.Now().UnixNano() % int64(cfg.Jitter))
+	}
+	if d <= 0 {
+		_, _ = r.in.WriteToUDP(pkt, r.dst)
+		return
+	}
+	cp := append([]byte(nil), pkt...)
+	t := time.AfterFunc(d, func() {
+		_, _ = r.in.WriteToUDP(cp, r.dst)
+	})
+	_ = t
+}

@@ -1,0 +1,200 @@
+package proxytest
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink collects datagrams on a local UDP socket.
+type sink struct {
+	sock *net.UDPConn
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func newSink(t *testing.T) *sink {
+	t.Helper()
+	sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sink{sock: sock}
+	t.Cleanup(func() { sock.Close() })
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := sock.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			cp := append([]byte(nil), buf[:n]...)
+			s.mu.Lock()
+			s.pkts = append(s.pkts, cp)
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pkts)
+}
+
+func (s *sink) addr() string { return s.sock.LocalAddr().String() }
+
+func send(t *testing.T, addr string, pkts int) {
+	t.Helper()
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < pkts; i++ {
+		if _, err := c.Write([]byte(fmt.Sprintf("pkt-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 63 {
+			time.Sleep(time.Millisecond) // don't overrun loopback buffers
+		}
+	}
+}
+
+func waitCount(t *testing.T, s *sink, atLeast int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for s.count() < atLeast {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d/%d datagrams arrived", s.count(), atLeast)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCleanRelayForwardsEverything(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 200)
+	waitCount(t, s, 200, 10*time.Second)
+	if got := r.Stats().Forwarded.Load(); got != 200 {
+		t.Fatalf("forwarded = %d, want 200", got)
+	}
+}
+
+func TestDropRateRoughlyHonored(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Drop: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 1000)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Dropped.Load()+r.Stats().Forwarded.Load() < 1000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay processed %d/1000",
+				r.Stats().Dropped.Load()+r.Stats().Forwarded.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dropped := r.Stats().Dropped.Load()
+	if dropped < 350 || dropped > 650 {
+		t.Fatalf("dropped %d of 1000 at rate 0.5", dropped)
+	}
+}
+
+func TestDuplicationDeliversExtras(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Dup: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 400)
+	waitCount(t, s, 500, 10*time.Second) // ~600 expected with dup 0.5
+	if r.Stats().Duplicated.Load() == 0 {
+		t.Fatal("no duplicates produced")
+	}
+}
+
+func TestReorderSwapsNeighbors(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Reorder: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 300)
+	waitCount(t, s, 300, 10*time.Second)
+	if r.Stats().Reordered.Load() == 0 {
+		t.Fatal("no reordering produced")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	swaps := 0
+	for i := 1; i < len(s.pkts); i++ {
+		if string(s.pkts[i]) < string(s.pkts[i-1]) {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("packets arrived fully ordered despite reorder=0.4")
+	}
+}
+
+func TestHeldPacketFlushedWhenTrafficStops(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Reorder: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 1) // held with no successor: the holdMax flush must save it
+	waitCount(t, s, 1, 5*time.Second)
+}
+
+func TestSetConfigSwitchesFaultsAtRuntime(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Drop: 1.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	send(t, r.Addr(), 50)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Dropped.Load() < 50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped %d/50", r.Stats().Dropped.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.count() != 0 {
+		t.Fatalf("%d datagrams leaked through drop=1.0", s.count())
+	}
+	r.SetConfig(Config{})
+	send(t, r.Addr(), 50)
+	waitCount(t, s, 50, 10*time.Second)
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	s := newSink(t)
+	r, err := New(s.addr(), Config{Delay: 20 * time.Millisecond, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	start := time.Now()
+	send(t, r.Addr(), 1)
+	waitCount(t, s, 1, 5*time.Second)
+	if e := time.Since(start); e < 15*time.Millisecond {
+		t.Fatalf("datagram arrived after %v, want >= ~20ms", e)
+	}
+}

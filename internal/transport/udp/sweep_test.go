@@ -1,0 +1,48 @@
+package udp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport/udp/proxytest"
+)
+
+// TestLossSweepReport runs the same fixed workload at increasing drop
+// rates and logs the engine's adaptation — the measured table in
+// docs/PERF.md §8 comes from this test (`go test -run TestLossSweep -v`).
+// It asserts only the qualitative shape (everything delivered in order,
+// loss costs retransmits, the window stays within its configured
+// bounds), so scheduler noise cannot flake it.
+func TestLossSweepReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss sweep skipped in -short")
+	}
+	const count = 400
+	for _, drop := range []float64{0, 0.01, 0.05} {
+		p := newLossyPair(t, proxytest.Config{Drop: drop, Seed: int64(900 + drop*100)}, stressRel())
+		start := time.Now()
+		sendOrdered(t, p.epA, 2, count, fmt.Sprintf("sw%d", int(drop*100)))
+		p.rxB.waitFor(t, count, 120*time.Second)
+		elapsed := time.Since(start)
+		st, ok := p.connA.Peer(2)
+		if !ok {
+			t.Fatalf("drop=%.0f%%: no peer state", drop*100)
+		}
+		retx := p.connA.Stats().Retransmits.Load()
+		fast := p.connA.Stats().FastRetransmits.Load()
+		t.Logf("drop=%.0f%%: %d msgs in %v (%.0f msg/s)  srtt=%v rto=%v window=%d retx=%d fast=%d",
+			drop*100, count, elapsed.Round(time.Millisecond),
+			float64(count)/elapsed.Seconds(), st.SRTT.Round(10*time.Microsecond),
+			st.RTO.Round(10*time.Microsecond), st.Window, retx, fast)
+		if drop > 0 && retx == 0 {
+			t.Errorf("drop=%.0f%%: no retransmissions — relay not in the path?", drop*100)
+		}
+		if st.Window < 2 || st.Window > 16 {
+			t.Errorf("drop=%.0f%%: window %d outside its [2, 16] bounds", drop*100, st.Window)
+		}
+		assertOrdered(t, p.rxB, count, fmt.Sprintf("sw%d", int(drop*100)))
+		p.na.Close()
+		p.nb.Close()
+	}
+}

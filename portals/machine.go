@@ -17,6 +17,7 @@ import (
 	"repro/internal/transport/loopback"
 	"repro/internal/transport/simnet"
 	"repro/internal/transport/tcp"
+	"repro/internal/transport/udp"
 	"repro/internal/types"
 )
 
@@ -69,6 +70,25 @@ func TCPStatic(localNID NID, listenAddr string, peers map[NID]string) Fabric {
 	return Fabric{
 		name:  "tcp",
 		build: func() transport.Network { return tcp.NewStatic(localNID, listenAddr, peers) },
+	}
+}
+
+// UDP is the connectionless datagram transport over real kernel sockets:
+// one socket per node, rtscts reliability (adaptive RTO, fast retransmit,
+// dynamic windows) on top, batched sendmmsg/recvmmsg syscalls underneath
+// where the platform has them.
+func UDP() Fabric {
+	return Fabric{name: "udp", build: func() transport.Network { return udp.New() }}
+}
+
+// UDPStatic is the UDP fabric configured for a genuinely distributed run
+// across OS processes or hosts: the local node localNID binds listenAddr,
+// and peers maps every remote NID to its host:port. See cmd/ptlnode
+// -transport udp for a ready-made driver.
+func UDPStatic(localNID NID, listenAddr string, peers map[NID]string) Fabric {
+	return Fabric{
+		name:  "udp",
+		build: func() transport.Network { return udp.NewStatic(localNID, listenAddr, peers) },
 	}
 }
 

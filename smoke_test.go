@@ -164,6 +164,41 @@ func TestCmdPtlnodePair(t *testing.T) {
 	}
 }
 
+func TestCmdPtlnodePairUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	bin := t.TempDir() + "/ptlnode"
+	runCmd(t, 120*time.Second, "go", "build", "-o", bin, "./cmd/ptlnode")
+
+	pong := exec.Command(bin, "-transport", "udp", "-nid", "1", "-listen", "127.0.0.1:9921",
+		"-peer", "2=127.0.0.1:9922", "-mode", "pong")
+	if err := pong.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		pong.Process.Kill()
+		pong.Wait()
+	}()
+	out := runCmd(t, 60*time.Second, bin, "-transport", "udp", "-nid", "2", "-listen", "127.0.0.1:9922",
+		"-peer", "1=127.0.0.1:9921", "-mode", "ping", "-target", "1", "-count", "50", "-size", "256")
+	if !strings.Contains(out, "round trips") || !strings.Contains(out, "avg RTT") {
+		t.Errorf("ptlnode -transport udp output:\n%s", out)
+	}
+}
+
+func TestCmdSwarmUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/swarm", "-transport", "udp",
+		"-endpoints", "100", "-mes", "4", "-nodes", "4", "-msgs", "2000", "-warmup", "-1")
+	// Ack completeness over real datagram sockets: every put acked.
+	if !strings.Contains(out, "acked=2000") || !strings.Contains(out, "latency p50=") {
+		t.Errorf("swarm -transport udp output:\n%s", out)
+	}
+}
+
 func TestCmdMpinodeJob(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short")
