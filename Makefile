@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-sarif lint-baseline test race short bench bench-smoke bench-diff sweep examples ci clean trace-smoke
+.PHONY: all build lint lint-sarif lint-baseline test race short bench bench-smoke bench-diff sweep examples ci clean trace-smoke coll-smoke
 
 all: build lint test
 
@@ -60,22 +60,23 @@ bench:
 # the target — followed by the bench-diff regression gate when a baseline
 # artifact exists.
 bench-smoke:
-	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady' \
+	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady|CollOffload|CTIncrement' \
 		-benchtime=1x -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
 		$(GO) run ./cmd/benchjson -label ci-smoke -min-results 20
 	@if [ -f BENCH_baseline.json ]; then $(MAKE) bench-diff; else echo "no BENCH_baseline.json; skipping bench-diff"; fi
 
 # bench-diff fails (exit nonzero) when a benchmark regressed past
 # BENCHTHRESHOLD vs the checked-in BENCH_baseline.json. The gated subset
-# is the stable ~100ns-scale microbenchmarks (match-list translation and
-# iovec scatter — the per-message fast path this repo optimizes); sub-5ns
+# is the stable ~20-100ns-scale microbenchmarks (match-list translation,
+# iovec scatter, counting-event increment — the per-message fast paths
+# this repo optimizes); sub-5ns
 # and multi-ms benchmarks are too noise-prone for a ratio gate. -count=3
 # feeds benchjson three runs per benchmark and Compare takes the best of
 # each: scheduler noise is one-sided, so the minimum is the honest
 # estimate. Refresh the baseline with `make bench` when hardware changes.
 BENCHTHRESHOLD ?= 1.25
 bench-diff:
-	$(GO) test -run=NONE -bench='TranslateExact|TranslateDepth|IOVecScatter' \
+	$(GO) test -run=NONE -bench='TranslateExact|TranslateDepth|IOVecScatter|CTIncrement' \
 		-benchtime=200ms -count=3 -cpu=1 -json . | \
 		$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -threshold $(BENCHTHRESHOLD) -min-results 10
 
@@ -92,12 +93,25 @@ trace-smoke:
 		-trace $$tmp/trace.json -metrics $$tmp/metrics.prom; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
+# coll-smoke exercises the triggered-operations subsystem end to end: a
+# small offloaded-vs-host collective run with the flight recorder enabled,
+# then cmd/tracecheck -require-offload asserting trig-fire instants (the
+# chain executing on delivery lanes) land inside compute-burn spans — the
+# NIC-offload claim, visible in the artifact.
+coll-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/collbench -procs 2,8 -burns 1ms -iters 2 \
+		-trace $$tmp/trace.json -metrics $$tmp/metrics.prom >/dev/null && \
+	$(GO) run ./cmd/tracecheck -require-offload \
+		-trace $$tmp/trace.json -metrics $$tmp/metrics.prom; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
 # Regenerate every paper experiment (EXPERIMENTS.md records one such run).
 sweep:
 	$(GO) run ./cmd/sweep
 
 # ci is everything the GitHub Actions workflow runs, for local parity.
-ci: build lint test race trace-smoke
+ci: build lint test race trace-smoke coll-smoke
 
 examples:
 	$(GO) run ./examples/quickstart

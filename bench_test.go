@@ -9,6 +9,8 @@
 //	E6     BenchmarkTranslate*        Figure 3/4 match-list walk cost
 //	E7     BenchmarkCollectives*      direct-vs-over-MPI collectives
 //	E8     BenchmarkBandwidth*        throughput vs message size
+//	E15    BenchmarkCollOffload,      offloaded vs host-driven collectives,
+//	       BenchmarkCTIncrement       counting-event hot-path cost
 //
 // Custom metrics carry the experiment's quantity (wait-µs, MB/s, bytes)
 // alongside the usual ns/op.
@@ -329,6 +331,68 @@ func BenchmarkCollectives(b *testing.B) {
 				b.ReportMetric(float64(p.OverMPIPerOp.Microseconds()), p.Op+"-overmpi-µs")
 			}
 		})
+	}
+}
+
+// ------------------------------------------------------------------- E15 --
+
+// BenchmarkCollOffload measures the triggered (NIC-offloaded) collectives
+// against the host-driven tree under a compute burn — the headline
+// numbers of docs/PERF.md's offloaded-collectives table, at smoke scale.
+func BenchmarkCollOffload(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			iters := b.N
+			if iters < 4 {
+				iters = 4
+			}
+			cfg := experiments.OffloadConfig{Iters: iters, Vec: 8, Lanes: 1}
+			pts, err := experiments.RunOffload(portals.Loopback(), n, 500*time.Microsecond, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range pts {
+				b.ReportMetric(float64(p.Offloaded.Microseconds()), p.Op+"-offloaded-µs")
+				b.ReportMetric(float64(p.Host.Microseconds()), p.Op+"-host-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkCTIncrement is the triggered-op hot path at micro scale: one
+// counting-event advance — the atomic increment plus armed-threshold
+// check that runs per counted completion on the delivery lanes
+// (core/ct.go ctInc). Triggered ops sit armed at unreachable thresholds
+// so the measured cost is the common no-fire case; zero allocs is the
+// portalsvet noalloc contract, asserted here dynamically too.
+func BenchmarkCTIncrement(b *testing.B) {
+	m := portals.NewMachine(portals.Loopback())
+	defer m.Close()
+	nis, err := m.LaunchJob(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ni := nis[0]
+	ct, err := ni.CTAlloc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ni.CTAlloc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := ni.TriggeredCTInc(res, portals.CTValue{Success: 1}, ct, 1<<62); err != nil {
+			b.Fatal(err)
+		}
+	}
+	one := portals.CTValue{Success: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ni.CTInc(ct, one); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

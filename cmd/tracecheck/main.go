@@ -8,12 +8,20 @@
 // Usage:
 //
 //	tracecheck [-trace trace.json] [-metrics metrics.prom] [-require-bypass]
+//	           [-require-offload]
 //
 // -require-bypass additionally asserts the §5.1 application-bypass claim
 // is visible in the capture: at least one receive-side instant
 // (match-done, deliver, or event-post) must land INSIDE a "compute burn"
 // span on the same node — message handling progressing while the
 // application makes no library calls.
+//
+// -require-offload asserts the triggered-operations claim the same way:
+// at least one trig-fire instant (a triggered put/get/ct-inc executing on
+// a delivery lane, core/ct.go) must land inside a compute-burn span on
+// the same node — the collective chain progressing with zero host
+// wakeups while the application burns CPU. Captures come from
+// cmd/collbench -trace.
 package main
 
 import (
@@ -46,7 +54,7 @@ type chromeTrace struct {
 // engine handling an incoming message.
 var receiveSide = map[string]bool{"match-done": true, "deliver": true, "event-post": true}
 
-func checkTrace(path string, requireBypass bool) error {
+func checkTrace(path string, requireBypass, requireOffload bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -75,31 +83,51 @@ func checkTrace(path string, requireBypass bool) error {
 		}
 	}
 	fmt.Printf("tracecheck: %s: %d events well-formed\n", path, len(t.TraceEvents))
-	if !requireBypass {
-		return nil
+	if requireBypass {
+		inside, burns, err := insideBurns(t.TraceEvents, func(name string) bool { return receiveSide[name] })
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if inside == 0 {
+			return fmt.Errorf("%s: no receive-side match-done/deliver/event-post instants inside any of %d compute-burn spans — the application-bypass claim is not visible in this capture", path, burns)
+		}
+		fmt.Printf("tracecheck: %s: %d receive-side instants inside %d compute-burn spans (application bypass visible)\n",
+			path, inside, burns)
 	}
-	burns, inside := 0, 0
-	for _, b := range t.TraceEvents {
+	if requireOffload {
+		inside, burns, err := insideBurns(t.TraceEvents, func(name string) bool { return name == "trig-fire" })
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if inside == 0 {
+			return fmt.Errorf("%s: no trig-fire instants inside any of %d compute-burn spans — the offloaded-collective claim is not visible in this capture", path, burns)
+		}
+		fmt.Printf("tracecheck: %s: %d trig-fire instants inside %d compute-burn spans (NIC-offloaded progression visible)\n",
+			path, inside, burns)
+	}
+	return nil
+}
+
+// insideBurns counts instants matching want that land inside "compute
+// burn" spans on the same node. Zero burn spans is itself an error — the
+// capture was not produced by a burn-bracketing driver.
+func insideBurns(evs []chromeEvent, want func(name string) bool) (inside, burns int, err error) {
+	for _, b := range evs {
 		if b.Ph != "X" || b.Name != "compute burn" {
 			continue
 		}
 		burns++
-		for _, e := range t.TraceEvents {
-			if e.Ph == "i" && receiveSide[e.Name] && e.PID == b.PID &&
+		for _, e := range evs {
+			if e.Ph == "i" && want(e.Name) && e.PID == b.PID &&
 				e.TS >= b.TS && e.TS <= b.TS+b.Dur {
 				inside++
 			}
 		}
 	}
 	if burns == 0 {
-		return fmt.Errorf("%s: no compute-burn spans (run the capture through cmd/bypass -trace)", path)
+		return 0, 0, fmt.Errorf("no compute-burn spans (run the capture through cmd/bypass or cmd/collbench with -trace)")
 	}
-	if inside == 0 {
-		return fmt.Errorf("%s: no receive-side match-done/deliver/event-post instants inside any of %d compute-burn spans — the application-bypass claim is not visible in this capture", path, burns)
-	}
-	fmt.Printf("tracecheck: %s: %d receive-side instants inside %d compute-burn spans (application bypass visible)\n",
-		path, inside, burns)
-	return nil
+	return inside, burns, nil
 }
 
 var (
@@ -175,13 +203,15 @@ func main() {
 	metricsPath := flag.String("metrics", "", "Prometheus text exposition file to validate")
 	requireBypass := flag.Bool("require-bypass", false,
 		"require receive-side instants inside compute-burn spans (the §5.1 claim)")
+	requireOffload := flag.Bool("require-offload", false,
+		"require trig-fire instants inside compute-burn spans (the triggered-operations claim)")
 	flag.Parse()
 	if *tracePath == "" && *metricsPath == "" {
 		fmt.Fprintln(os.Stderr, "tracecheck: nothing to do; pass -trace and/or -metrics")
 		os.Exit(2)
 	}
 	if *tracePath != "" {
-		if err := checkTrace(*tracePath, *requireBypass); err != nil {
+		if err := checkTrace(*tracePath, *requireBypass, *requireOffload); err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
 			os.Exit(1)
 		}

@@ -27,9 +27,12 @@ import (
 	"repro/portals"
 )
 
+// Portal assignments follow docs/PROTOCOL.md §5: index 5 belongs to the
+// triggered collective library (coll.TGroup), so the file service sits
+// above it.
 const (
-	ptlCtrl portals.PtlIndex = 5
-	ptlData portals.PtlIndex = 6
+	ptlCtrl portals.PtlIndex = 6
+	ptlData portals.PtlIndex = 7
 
 	ctrlBits  portals.MatchBits = 0xC0117401 // control requests
 	replyBase portals.MatchBits = 1 << 32    // server → client replies

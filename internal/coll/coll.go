@@ -1,9 +1,18 @@
 // Package coll implements collective operations DIRECTLY on Portals,
 // without a point-to-point message layer in between — the approach of the
 // high-performance collective communication library the paper cites (§2)
-// for Puma MPI.
+// for Puma MPI. It provides the same operations twice, as the two ends of
+// experiment E15's comparison:
 //
-// Design: every group member arms PERSISTENT wildcard match entries at
+//   - Group (this file) is HOST-DRIVEN: the member's goroutine executes
+//     each hop of the tree, so a collective's latency adds to whatever
+//     compute the host is doing.
+//   - TGroup (triggered.go) is NIC-OFFLOADED: the same trees rebuilt as
+//     pre-armed triggered-operation chains over counting events
+//     (docs/PROTOCOL.md §6), progressing entirely on the delivery lanes
+//     so a collective completes UNDER a compute burn.
+//
+// Group design: every member arms PERSISTENT wildcard match entries at
 // group creation (one per operation class), so collective traffic is
 // never unexpected and never dropped. Incoming puts carry (operation,
 // generation, phase) in their match bits; the library waits for exact
@@ -12,7 +21,9 @@
 // remotely-managed staging slots, double-buffered by generation parity;
 // generation skew between members is bounded to one by the algorithms'
 // data dependencies (plus explicit credits for broadcast), so two slots
-// per phase suffice.
+// per phase suffice. TGroup keeps the staging-slot scheme but replaces
+// per-message match bits with anonymous arrivals onto monotone counters —
+// triggered.go's preamble explains why that is safe.
 //
 // Compared with collectives over MPI send/recv, this path has no
 // unexpected-message copies, no rendezvous handshakes, and no tag

@@ -13,14 +13,16 @@ import (
 // lookupMDOpen resolves an initiator-side descriptor handle with atomic
 // loads only, failing if the state is closed. The caller must bracket the
 // call in a pins window, take d.owner, and re-check d.unlinked before
-// using the descriptor (docs/PERF.md §7).
+// using the descriptor (docs/PERF.md §7). Errors are bare sentinels — this
+// sits under startPut/startGet, which triggered operations execute on the
+// delivery lanes, so even the failure paths must not allocate.
 func (s *State) lookupMDOpen(md types.Handle) (*memDesc, error) {
 	if s.closed.Load() {
 		return nil, types.ErrClosed
 	}
 	d, ok := s.mds.lookup(md)
 	if !ok {
-		return nil, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+		return nil, types.ErrInvalidHandle
 	}
 	return d, nil
 }
@@ -31,6 +33,20 @@ func (s *State) lookupMDOpen(md types.Handle) (*memDesc, error) {
 // descriptor's event queue immediately — the message is encoded (the DMA
 // analogue) before return, so the buffer is reusable.
 func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.ProcessID,
+	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
+	out, err := s.startPut(md, ack, target, ptl, cookie, bits, remoteOffset)
+	if err != nil {
+		return Outbound{}, fmt.Errorf("%w (md %v)", err, md)
+	}
+	return out, nil
+}
+
+// startPut is StartPut returning bare sentinel errors: it is also the body
+// of a fired TriggeredPut, which runs on the delivery lanes, so the whole
+// function — failure paths included — stays allocation-free.
+//
+//lint:noalloc triggered puts execute this on the delivery lanes (ct.go)
+func (s *State) startPut(md types.Handle, ack types.AckRequest, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
 	pin := s.pins.Enter(uint64(md.Index))
@@ -44,10 +60,10 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 	gone := d.unlinked
 	s.pins.Exit(pin)
 	if gone {
-		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+		return Outbound{}, types.ErrInvalidHandle
 	}
 	if !d.active() {
-		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
+		return Outbound{}, types.ErrInvalidArgument
 	}
 	size := d.view.size()
 	h := wire.NewPut(s.self, target, ptl, cookie, bits, remoteOffset, md, size, ack)
@@ -76,6 +92,9 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 			MsgSeq:    uint64(h.Seq),
 		})
 	}
+	// Local send completion counts (MDCTSend) before a possible unlink so
+	// the increment still lands for fire-and-forget descriptors.
+	s.ctIncMD(d.md.CT, d.md.Options, types.MDCTSend, size)
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
 		s.unlinkMD(d, true)
 	}
@@ -89,6 +108,19 @@ func (s *State) StartPut(md types.Handle, ack types.AckRequest, target types.Pro
 // not be unlinked until the reply is received."
 func (s *State) StartGet(md types.Handle, target types.ProcessID,
 	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
+	out, err := s.startGet(md, target, ptl, cookie, bits, remoteOffset)
+	if err != nil {
+		return Outbound{}, fmt.Errorf("%w (md %v)", err, md)
+	}
+	return out, nil
+}
+
+// startGet is StartGet returning bare sentinel errors; like startPut it is
+// the body of a fired TriggeredGet on the delivery lanes.
+//
+//lint:noalloc triggered gets execute this on the delivery lanes (ct.go)
+func (s *State) startGet(md types.Handle, target types.ProcessID,
+	ptl types.PtlIndex, cookie types.ACIndex, bits types.MatchBits, remoteOffset uint64) (Outbound, error) {
 
 	pin := s.pins.Enter(uint64(md.Index))
 	d, err := s.lookupMDOpen(md)
@@ -101,10 +133,10 @@ func (s *State) StartGet(md types.Handle, target types.ProcessID,
 	gone := d.unlinked
 	s.pins.Exit(pin)
 	if gone {
-		return Outbound{}, fmt.Errorf("%w: %v", types.ErrInvalidHandle, md)
+		return Outbound{}, types.ErrInvalidHandle
 	}
 	if !d.active() {
-		return Outbound{}, fmt.Errorf("%w: descriptor threshold exhausted", types.ErrInvalidArgument)
+		return Outbound{}, types.ErrInvalidArgument
 	}
 	h := wire.NewGet(s.self, target, ptl, cookie, bits, remoteOffset, md, d.view.size())
 	h.Seq = s.nextSeq()

@@ -12,6 +12,11 @@ package core
 // Figure 4 walk and the §4.8 rules are unchanged; only the copy step
 // differs.
 
+import (
+	"encoding/binary"
+	"math"
+)
+
 // ioView adapts a descriptor's memory — contiguous or segmented — to
 // offset-addressed reads and writes.
 type ioView struct {
@@ -59,6 +64,28 @@ func (v ioView) writeAt(offset uint64, src []byte) {
 		n := copy(seg[offset:], src)
 		src = src[n:]
 		offset = 0
+	}
+}
+
+// accumulateF64 combines src into the view at offset by elementwise
+// float64 addition (little-endian, 8-byte elements) — the MDAccumulate
+// delivery step, i.e. the NIC-side reduction. validateMD restricts
+// accumulate descriptors to contiguous regions, so only the flat path
+// exists; a trailing partial element (len(src)%8 != 0) is ignored, and as
+// with writeAt a zero-length operation is a no-op at any offset. The
+// caller holds the descriptor's portal lock, which is what serializes
+// concurrent contributions into one slot.
+//
+//lint:requires memDesc.owner/portal.mu
+//lint:noalloc the accumulate delivery step runs per message under the portal lock
+func (v ioView) accumulateF64(offset uint64, src []byte) {
+	for len(src) >= 8 {
+		dst := v.flat[offset : offset+8]
+		cur := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		add := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(cur+add))
+		offset += 8
+		src = src[8:]
 	}
 }
 

@@ -26,6 +26,11 @@ type MD struct {
 	Options types.MDOptions
 	// EQ is the event queue to log operations into; InvalidHandle for none.
 	EQ types.Handle
+	// CT is the counting event completions on this descriptor increment;
+	// InvalidHandle for none. Which completion classes count is selected
+	// by the MDCT* option bits (MDCTPut, MDCTAck, ...); counting is
+	// independent of the event queue and works with EQ unset.
+	CT types.Handle
 	// UserPtr is returned verbatim in every event involving this
 	// descriptor; protocols use it to find their per-buffer state without
 	// a lookup table.
@@ -87,6 +92,19 @@ func (s *State) validateMD(md MD) error {
 	if md.EQ.IsValid() {
 		if _, ok := s.eqs.lookup(md.EQ); !ok {
 			return fmt.Errorf("%w: event queue %v", types.ErrInvalidHandle, md.EQ)
+		}
+	}
+	if md.CT.IsValid() {
+		if _, ok := s.cts.lookup(md.CT); !ok {
+			return fmt.Errorf("%w: counting event %v", types.ErrInvalidHandle, md.CT)
+		}
+	}
+	if md.Options&types.MDAccumulate != 0 {
+		if len(md.Segments) > 0 {
+			return fmt.Errorf("%w: MDAccumulate requires a contiguous region", types.ErrInvalidArgument)
+		}
+		if md.Options&types.MDOpGet != 0 {
+			return fmt.Errorf("%w: MDAccumulate applies to puts only", types.ErrInvalidArgument)
 		}
 	}
 	return nil

@@ -84,6 +84,13 @@ type State struct {
 	mes   slotTable[matchEntry]
 	mds   slotTable[memDesc]
 	eqs   slotTable[eventq.Queue]
+	cts   slotTable[ctr]
+
+	// trigPending is the Treiber stack of counters whose success count
+	// crossed an armed threshold since the last FireTriggered drain
+	// (ct.go). Delivery lanes drain it at the tail of HandleIncomingInto;
+	// application-side counter advances drain it through the portals layer.
+	trigPending atomic.Pointer[ctr] //lint:guardedby atomic
 
 	// closed flips once, under resMu; hot paths read it with one atomic
 	// load (no lock).
@@ -135,6 +142,7 @@ func NewState(self types.ProcessID, limits types.Limits, list *acl.List, counter
 	s.mes.init(types.KindME, limits.MaxMEs)
 	s.mds.init(types.KindMD, limits.MaxMDs)
 	s.eqs.init(types.KindEQ, limits.MaxEQs)
+	s.cts.init(types.KindCT, limits.MaxCTs)
 	s.meArena.SetGate(&s.pins)
 	s.mdArena.SetGate(&s.pins)
 	return s
@@ -174,9 +182,19 @@ func (s *State) Close() {
 	s.closed.Store(true)
 	var queues []*eventq.Queue
 	s.eqs.each(func(q *eventq.Queue) { queues = append(queues, q) })
+	var counters []*ctr
+	s.cts.each(func(c *ctr) { counters = append(counters, c) })
 	s.resMu.Unlock()
 	for _, q := range queues {
 		q.Close()
+	}
+	// Counters close after the flag flip: CTWait waiters wake with
+	// ErrClosed, and armed triggered operations are discarded, never fired
+	// (the same unlink-while-armed rule CTFree follows).
+	for _, c := range counters {
+		for n := c.close(); n > 0; n-- {
+			s.counters.TrigDropped()
+		}
 	}
 }
 

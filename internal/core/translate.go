@@ -61,20 +61,22 @@ func (s *State) HandleIncoming(h *wire.Header, payload []byte) []Outbound {
 func (s *State) HandleIncomingInto(h *wire.Header, payload []byte, out []Outbound) []Outbound {
 	switch h.Op {
 	case wire.OpPut:
-		return s.recvPut(h, payload, out)
+		out = s.recvPut(h, payload, out)
 	case wire.OpGet:
-		return s.recvGet(h, out)
+		out = s.recvGet(h, out)
 	case wire.OpAck:
 		s.recvAck(h)
-		return out
 	case wire.OpReply:
 		s.recvReply(h, payload)
-		return out
 	default:
 		// DecodeMessage rejects unknown ops; treat a stray one as a drop.
 		s.counters.Drop(types.DropBadTarget)
-		return out
 	}
+	// Any completion above may have pushed a counter across an armed
+	// threshold; fire the ready triggered operations HERE, on the delivery
+	// lane, after the message's locks are released — this is what makes a
+	// triggered collective progress with zero host involvement (ct.go).
+	return s.FireTriggered(out)
 }
 
 // accept decides whether a descriptor accepts an incoming put/get request
@@ -225,6 +227,16 @@ func (s *State) finishOperation(d *memDesc, evType types.EventType, h *wire.Head
 			MsgSeq:    uint64(h.Seq),
 		})
 	}
+	// Counting events (ct.go): the delivery counts on the descriptor's
+	// counter when the matching MDCT* bit is set. This runs strictly after
+	// the payload landed (recvPut/recvGet call finishOperation after the
+	// copy), so an operation triggered by the crossing can already read the
+	// delivered data — the ordering triggered broadcast forwarding needs.
+	want := types.MDCTPut
+	if evType == types.EventGet {
+		want = types.MDCTGet
+	}
+	s.ctIncMD(d.md.CT, d.md.Options, want, mlength)
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
 		s.unlinkMD(d, true)
 	}
@@ -254,7 +266,16 @@ func (s *State) recvPut(h *wire.Header, payload []byte, out []Outbound) []Outbou
 		s.counters.Drop(reason)
 		return out
 	}
-	d.view.writeAt(offset, payload[:mlength])
+	if d.md.Options&types.MDAccumulate != 0 {
+		// NIC-side reduction (docs/PROTOCOL.md "Counting events"): the
+		// payload combines into the region instead of overwriting it, under
+		// the same portal lock every delivery into this descriptor takes —
+		// concurrent contributions serialize here, which is what lets a
+		// triggered allreduce sum children's vectors with no host code.
+		d.view.accumulateF64(offset, payload[:mlength])
+	} else {
+		d.view.writeAt(offset, payload[:mlength])
+	}
 	if traced {
 		trace.Record(trace.StageDeliver,
 			uint32(h.Initiator.NID), uint32(h.Initiator.PID), uint64(h.Seq), mlength)
@@ -323,7 +344,11 @@ func (s *State) recvGet(h *wire.Header, out []Outbound) []Outbound {
 // recvAck implements §4.8: "upon receipt of an acknowledgment, the runtime
 // system only needs to confirm that the event queue still exists. Should
 // the event queue no longer exist, the message is simply discarded and the
-// dropped message count for the interface is incremented."
+// dropped message count for the interface is incremented." A descriptor
+// counting acks (MDCTAck) extends the rule: the counter increment happens
+// even without an event queue — counting events are the EQ-free completion
+// channel triggered chains are built from — and only the EVENT is subject
+// to the queue-existence check.
 func (s *State) recvAck(h *wire.Header) {
 	// Bridge from the lock-free handle lookup to the descriptor's owner
 	// lock (docs/PERF.md §7): the pins window keeps the record from being
@@ -343,8 +368,9 @@ func (s *State) recvAck(h *wire.Header) {
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
+	countsCT := d.md.Options&types.MDCTAck != 0 && d.md.CT.IsValid()
 	q := s.eqFor(d.md.EQ)
-	if q == nil {
+	if q == nil && !countsCT {
 		s.counters.Drop(types.DropEQGone)
 		return
 	}
@@ -352,18 +378,21 @@ func (s *State) recvAck(h *wire.Header) {
 	// (self, seq), not by the ack header's (swapped) initiator.
 	trace.Record(trace.StageAck,
 		uint32(s.self.NID), uint32(s.self.PID), uint64(h.Seq), h.MLength)
-	q.Post(eventq.Event{
-		Type:      types.EventAck,
-		Initiator: h.Initiator,
-		PtlIndex:  h.PtlIndex,
-		MatchBits: h.MatchBits,
-		RLength:   h.RLength,
-		MLength:   h.MLength,
-		Offset:    h.Offset,
-		MD:        d.handle,
-		UserPtr:   d.md.UserPtr,
-		MsgSeq:    uint64(h.Seq),
-	})
+	if q != nil {
+		q.Post(eventq.Event{
+			Type:      types.EventAck,
+			Initiator: h.Initiator,
+			PtlIndex:  h.PtlIndex,
+			MatchBits: h.MatchBits,
+			RLength:   h.RLength,
+			MLength:   h.MLength,
+			Offset:    h.Offset,
+			MD:        d.handle,
+			UserPtr:   d.md.UserPtr,
+			MsgSeq:    uint64(h.Seq),
+		})
+	}
+	s.ctIncMD(d.md.CT, d.md.Options, types.MDCTAck, h.MLength)
 	// An acknowledgment is an operation on the descriptor: it consumes
 	// threshold. A put that requests an ack therefore needs threshold 2
 	// (send + ack) on its descriptor to survive until the ack lands.
@@ -407,6 +436,15 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 			var ok bool
 			if res, ok = q.ReserveIfSpace(); !ok {
 				s.counters.Drop(types.DropEQFull)
+				// Failure counting (docs/PROTOCOL.md): a reply the engine
+				// had to drop is a FAILURE increment on a counting
+				// descriptor — it never arms triggered operations, but a
+				// CTWait-er sees the stream went wrong instead of hanging.
+				if d.md.Options&types.MDCTReply != 0 {
+					if c := s.ctRes(d.md.CT); c != nil {
+						s.ctInc(c, 0, 1)
+					}
+				}
 				return
 			}
 		}
@@ -431,6 +469,8 @@ func (s *State) recvReply(h *wire.Header, payload []byte) {
 		MD:        d.handle,
 		UserPtr:   d.md.UserPtr,
 	})
+	// Reply data is in place (writeAt above): count the completion.
+	s.ctIncMD(d.md.CT, d.md.Options, types.MDCTReply, mlength)
 	if d.threshold == 0 && d.unlinkOp == types.Unlink && d.pending == 0 {
 		s.unlinkMD(d, true)
 	}

@@ -714,6 +714,12 @@ func allocFreeExternal(fn *types.Func) bool {
 	switch path {
 	case "sync/atomic", "math/bits":
 		return true
+	case "math":
+		// Pure float arithmetic/bit-pattern helpers (Float64bits,
+		// Float64frombits, Abs, ...): compiler intrinsics or leaf
+		// functions, allocation-free. The MDAccumulate delivery step
+		// (core.accumulateF64) runs these per message.
+		return true
 	case "runtime":
 		return name == "Gosched" || name == "KeepAlive" || name == "NumCPU" || name == "GOMAXPROCS"
 	case "time":

@@ -67,6 +67,11 @@ const (
 	// compute burn (Figure 6); keyed (NID, PID, iteration).
 	StageAppBurnStart
 	StageAppBurnEnd
+	// StageTrigFire marks a triggered operation firing on the delivery path
+	// (core/ct.go fireOp); keyed (NID, PID, threshold), Arg is the op kind
+	// (1 put, 2 get, 3 ct-inc). Landing inside a burn span is the
+	// offloaded-collective evidence cmd/tracecheck -require-offload checks.
+	StageTrigFire
 )
 
 var stageNames = [...]string{
@@ -82,6 +87,7 @@ var stageNames = [...]string{
 	StageAck:          "ack",
 	StageAppBurnStart: "burn-start",
 	StageAppBurnEnd:   "burn-end",
+	StageTrigFire:     "trig-fire",
 }
 
 func (s Stage) String() string {

@@ -294,6 +294,19 @@ func (m *Map[K, V]) Insert(k K, v V) bool {
 	return true
 }
 
+// Set publishes a new epoch with k → v, replacing any existing entry —
+// the upsert Insert deliberately is not. Writers must be externally
+// serialized, like every Map mutation.
+func (m *Map[K, V]) Set(k K, v V) {
+	cur := m.snapshot()
+	next := make(map[K]V, len(cur)+1)
+	for kk, vv := range cur {
+		next[kk] = vv
+	}
+	next[k] = v
+	m.p.Store(&next)
+}
+
 // Delete publishes a new epoch with k removed; it returns false (and
 // publishes nothing) if k is absent.
 func (m *Map[K, V]) Delete(k K) bool {

@@ -207,6 +207,17 @@ func TestMapCOW(t *testing.T) {
 	if v, ok := m.Get(1); !ok || v != "a" {
 		t.Fatalf("get 1: %q, %v", v, ok)
 	}
+	m.Set(1, "replaced")
+	if v, ok := m.Get(1); !ok || v != "replaced" {
+		t.Fatalf("get 1 after Set: %q, %v", v, ok)
+	}
+	m.Set(3, "new")
+	if v, ok := m.Get(3); !ok || v != "new" {
+		t.Fatalf("get 3 after Set: %q, %v", v, ok)
+	}
+	if !m.Delete(3) {
+		t.Fatal("delete of Set entry failed")
+	}
 	if !m.Delete(2) || m.Delete(2) {
 		t.Fatal("delete semantics wrong")
 	}

@@ -32,4 +32,8 @@ func (c *Counters) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
 	r.CounterFunc("portals_match_index_misses_total", "walks resolved from the wildcard list or unmatched", ls, c.indexMisses.Load)
 	r.CounterFunc("portals_bufpool_hits_total", "pooled buffers reused", ls, c.poolHits.Load)
 	r.CounterFunc("portals_bufpool_misses_total", "pooled buffers freshly allocated", ls, c.poolMisses.Load)
+	r.CounterFunc("portals_ct_increments_total", "counting-event advances (core/ct.go)", ls, c.ctIncs.Load)
+	r.CounterFunc("portals_trig_armed_total", "triggered operations armed on counters", ls, c.trigArmed.Load)
+	r.CounterFunc("portals_trig_fired_total", "triggered operations fired on the delivery path", ls, c.trigFired.Load)
+	r.CounterFunc("portals_trig_dropped_total", "triggered operations discarded (teardown with ops armed, stale descriptor/counter)", ls, c.trigDropped.Load)
 }

@@ -45,6 +45,13 @@ type Counters struct {
 	// wildcard list (or not at all) — docs/PERF.md match-index telemetry.
 	indexHits   atomic.Int64 //lint:guardedby atomic
 	indexMisses atomic.Int64 //lint:guardedby atomic
+	// Counting events / triggered operations (core/ct.go). Increments and
+	// fires are bumped by delivery lanes, so they live in this group;
+	// trigArmed is application-side but rare (arming is control-path).
+	ctIncs      atomic.Int64 //lint:guardedby atomic  counter increments (success or failure, any source)
+	trigArmed   atomic.Int64 //lint:guardedby atomic  triggered operations armed
+	trigFired   atomic.Int64 //lint:guardedby atomic  triggered operations fired
+	trigDropped atomic.Int64 //lint:guardedby atomic  fires dropped (stale MD/CT at fire time)
 	_           pad
 
 	// Send path: bumped by application goroutines in StartPut/StartGet.
@@ -121,6 +128,19 @@ func (c *Counters) MatchWalk(steps int, indexHit bool) {
 	}
 }
 
+// CTInc records one counting-event advance (core ctInc/CTSet).
+func (c *Counters) CTInc() { c.ctIncs.Add(1) }
+
+// TrigArmed, TrigFired, TrigDropped record the triggered-op lifecycle:
+// armed on a counter, fired on the delivery path, or dropped at fire time
+// because the descriptor or counter had vanished (§4.8 posture: no
+// initiator left to surface the error to).
+func (c *Counters) TrigArmed() { c.trigArmed.Add(1) }
+
+func (c *Counters) TrigFired() { c.trigFired.Add(1) }
+
+func (c *Counters) TrigDropped() { c.trigDropped.Add(1) }
+
 // Pool records one buffer-pool request on this interface's paths: reused
 // says whether it was satisfied from the pool (hit) or freshly allocated.
 func (c *Counters) Pool(reused bool) {
@@ -150,6 +170,11 @@ type Snapshot struct {
 	IndexMisses int64
 	PoolHits    int64
 	PoolMisses  int64
+
+	CTIncs      int64
+	TrigArmed   int64
+	TrigFired   int64
+	TrigDropped int64
 }
 
 // Snapshot captures the current counter values.
@@ -175,6 +200,10 @@ func (c *Counters) Snapshot() Snapshot {
 	s.IndexMisses = c.indexMisses.Load()
 	s.PoolHits = c.poolHits.Load()
 	s.PoolMisses = c.poolMisses.Load()
+	s.CTIncs = c.ctIncs.Load()
+	s.TrigArmed = c.trigArmed.Load()
+	s.TrigFired = c.trigFired.Load()
+	s.TrigDropped = c.trigDropped.Load()
 	return s
 }
 
@@ -188,6 +217,9 @@ func (s Snapshot) String() string {
 	}
 	if s.PoolHits+s.PoolMisses > 0 {
 		fmt.Fprintf(&b, " pool=%d/%d", s.PoolHits, s.PoolHits+s.PoolMisses)
+	}
+	if s.CTIncs+s.TrigArmed > 0 {
+		fmt.Fprintf(&b, " ct=%d trig=%d/%d/%d", s.CTIncs, s.TrigArmed, s.TrigFired, s.TrigDropped)
 	}
 	if len(s.Drops) > 0 {
 		reasons := make([]types.DropReason, 0, len(s.Drops))

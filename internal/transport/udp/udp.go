@@ -152,7 +152,8 @@ func (n *Network) SetListenAddr(nid types.NID, addr string) {
 
 // Register seeds the address of a node that lives in another OS process
 // or on another machine. Re-registering replaces the address (tests use
-// this to interpose a lossy proxy).
+// this to interpose a lossy proxy) — hence Set, not Insert: the rcu map's
+// Insert refuses duplicates, which would silently keep the old address.
 func (n *Network) Register(nid types.NID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -160,7 +161,7 @@ func (n *Network) Register(nid types.NID, addr string) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.addrs.Insert(nid, ua)
+	n.addrs.Set(nid, ua)
 	return nil
 }
 

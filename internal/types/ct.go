@@ -1,0 +1,18 @@
+package types
+
+import "fmt"
+
+// CTValue is the value of a counting event (ptl_ct_event_t in Portals 4):
+// separate success and failure accumulators, read and written atomically
+// with respect to each other only per field. Success counts arm triggered
+// operations; failures never fire anything — they exist so a waiter can
+// notice that the operation stream it is counting has gone wrong (§4.8's
+// drop accounting, surfaced per counter instead of per interface).
+type CTValue struct {
+	Success uint64
+	Failure uint64
+}
+
+func (v CTValue) String() string {
+	return fmt.Sprintf("ct(success=%d failure=%d)", v.Success, v.Failure)
+}

@@ -36,6 +36,11 @@ var (
 	ErrProcessNotFound = errors.New("portals: target process not found")
 	// ErrClosed: the object or the whole interface was torn down.
 	ErrClosed = errors.New("portals: closed")
+	// ErrTimeout: a bounded wait (CTPoll) elapsed before the condition held.
+	ErrTimeout = errors.New("portals: timed out")
+	// ErrCTFailure: CTWait observed a non-zero failure count before the
+	// success threshold was reached.
+	ErrCTFailure = errors.New("portals: counting event recorded failures")
 )
 
 // DropReason enumerates exactly why an incoming message was discarded.

@@ -12,6 +12,7 @@ const (
 	KindME              // match entry
 	KindMD              // memory descriptor
 	KindEQ              // event queue
+	KindCT              // counting event (Portals-4-style counter)
 )
 
 func (k HandleKind) String() string {
@@ -26,6 +27,8 @@ func (k HandleKind) String() string {
 		return "MD"
 	case KindEQ:
 		return "EQ"
+	case KindCT:
+		return "CT"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -10,6 +10,8 @@ type Limits struct {
 	MaxMDs int
 	// MaxEQs bounds the number of event queues.
 	MaxEQs int
+	// MaxCTs bounds the number of counting events (ct.go).
+	MaxCTs int
 	// MaxACEntries bounds the access-control list length.
 	MaxACEntries int
 	// MaxPtlIndex is the highest usable portal-table index; the table has
@@ -26,6 +28,7 @@ func DefaultLimits() Limits {
 		MaxMEs:       4096,
 		MaxMDs:       4096,
 		MaxEQs:       64,
+		MaxCTs:       256,
 		MaxACEntries: 64,
 		MaxPtlIndex:  63,
 		MaxMDSize:    1 << 30,
@@ -45,6 +48,9 @@ func (l Limits) Clamp() Limits {
 	}
 	if l.MaxEQs <= 0 || l.MaxEQs > d.MaxEQs {
 		l.MaxEQs = d.MaxEQs
+	}
+	if l.MaxCTs <= 0 || l.MaxCTs > d.MaxCTs {
+		l.MaxCTs = d.MaxCTs
 	}
 	if l.MaxACEntries <= 0 || l.MaxACEntries > d.MaxACEntries {
 		l.MaxACEntries = d.MaxACEntries

@@ -25,6 +25,42 @@ const (
 	// MDEventStartDisable suppresses start events (we log only completion
 	// events by default; kept for spec parity).
 	MDEventStartDisable
+
+	// Counting-event routing (the Portals 4 counting-event model grafted
+	// onto this 3.0 engine; docs/PROTOCOL.md "Counting events"). Each bit
+	// routes one completion class on this descriptor into the counter named
+	// by MD.CT. Success increments can arm triggered operations; see
+	// internal/core/ct.go.
+
+	// MDCTPut counts incoming puts delivered into this descriptor (target
+	// side; fires alongside EventPut).
+	MDCTPut
+	// MDCTGet counts incoming gets served from this descriptor (target
+	// side; fires alongside EventGet).
+	MDCTGet
+	// MDCTAck counts put acknowledgments arriving for this descriptor
+	// (initiator side; fires alongside EventAck). Unlike the event-queue
+	// path, a counting ack is processed even when the descriptor has no
+	// event queue.
+	MDCTAck
+	// MDCTReply counts get replies landing in this descriptor (initiator
+	// side; fires alongside EventReply). A reply dropped because the event
+	// queue is full increments the counter's FAILURE count instead.
+	MDCTReply
+	// MDCTSend counts local send completion of outgoing puts from this
+	// descriptor (fires alongside EventSend).
+	MDCTSend
+	// MDCTBytes switches the counter's unit from operations to manipulated
+	// bytes (PTL_MD_EVENT_CT_BYTES): each counted completion adds mlength
+	// instead of 1.
+	MDCTBytes
+	// MDAccumulate makes incoming put payloads COMBINE into the region
+	// (elementwise float64 sum over the overlapped range) instead of
+	// overwriting it — the NIC-side reduction primitive triggered
+	// collectives build allreduce from. Requires a contiguous (non-Segments)
+	// region; payloads are treated as little-endian float64s and a trailing
+	// partial element is ignored.
+	MDAccumulate
 )
 
 // ThresholdInfinite marks a memory descriptor that is never consumed by

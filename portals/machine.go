@@ -92,6 +92,15 @@ func UDPStatic(localNID NID, listenAddr string, peers map[NID]string) Fabric {
 	}
 }
 
+// CustomFabric wraps an externally constructed transport under a Machine.
+// This is the interposition hook fault-injection harnesses use: build a
+// udp.Network yourself, launch the job, then re-Register peer addresses to
+// point at lossy relays (internal/transport/udp/proxytest). The Machine
+// takes ownership — Machine.Close closes net.
+func CustomFabric(name string, net transport.Network) Fabric {
+	return Fabric{name: name, build: func() transport.Network { return net }}
+}
+
 // WithNIC overrides the node processing model (NIC-offload vs
 // host-interrupt) for nodes created on this fabric. Other NIC settings
 // (lane count) are left as configured.

@@ -120,7 +120,11 @@ func (ni *NI) Put(md Handle, ack AckRequest, target ProcessID,
 	if err != nil {
 		return err
 	}
-	return ni.node.Send(out)
+	if err := ni.node.Send(out); err != nil {
+		return err
+	}
+	// The send-side counting event (MDCTSend) may have crossed a threshold.
+	return ni.drainTriggered()
 }
 
 // Get requests data from the target into the descriptor (PtlGet,
@@ -136,6 +140,116 @@ func (ni *NI) Get(md Handle, target ProcessID,
 		return err
 	}
 	return ni.node.Send(out)
+	// (Gets carry no MDCTSend counting — the completion is the reply.)
+}
+
+// CTAlloc creates a counting event (PtlCTAlloc): a pair of success/failure
+// counters that MD options route completions into, and that triggered
+// operations arm against. Counters have no queue to overflow and no waiter
+// requirement — the lightweight completion primitive of Portals 4 §3.14.
+func (ni *NI) CTAlloc() (Handle, error) { return ni.state.CTAlloc() }
+
+// CTFree releases a counting event (PtlCTFree). Triggered operations still
+// armed on it are discarded without firing; CTWait callers wake with
+// ErrClosed.
+func (ni *NI) CTFree(ct Handle) error { return ni.state.CTFree(ct) }
+
+// CTGet reads a counter without blocking (PtlCTGet).
+func (ni *NI) CTGet(ct Handle) (CTValue, error) { return ni.state.CTGet(ct) }
+
+// CTSet overwrites a counter (PtlCTSet), waking waiters and firing any
+// triggered operations the new value crosses.
+func (ni *NI) CTSet(ct Handle, v CTValue) error {
+	if err := ni.state.CTSet(ct, v); err != nil {
+		return err
+	}
+	return ni.drainTriggered()
+}
+
+// CTInc adds to a counter from the application side (PtlCTInc). Triggered
+// operations crossed by the increment fire on this goroutine.
+func (ni *NI) CTInc(ct Handle, v CTValue) error {
+	if err := ni.state.CTInc(ct, v); err != nil {
+		return err
+	}
+	return ni.drainTriggered()
+}
+
+// CTWait blocks until the counter's success count reaches threshold
+// (PtlCTWait), returning the value read. A failure increment observed
+// first returns ErrCTFailure.
+func (ni *NI) CTWait(ct Handle, threshold uint64) (CTValue, error) {
+	return ni.state.CTWait(ct, threshold, 0)
+}
+
+// CTPoll waits up to d for the counter to reach threshold, then returns
+// ErrTimeout with the value read (PtlCTPoll, single-counter form).
+func (ni *NI) CTPoll(ct Handle, threshold uint64, d time.Duration) (CTValue, error) {
+	return ni.state.CTWait(ct, threshold, d)
+}
+
+// CTArmed reports how many triggered operations are armed on the counter.
+func (ni *NI) CTArmed(ct Handle) (int, error) { return ni.state.CTArmed(ct) }
+
+// TriggeredPut arms a put that executes when ct's success count reaches
+// threshold (PtlTriggeredPut). The put runs on whichever delivery lane
+// crosses the threshold — no host goroutine is involved — with the same
+// semantics as Put at fire time. The descriptor is resolved when the
+// operation fires, not when it is armed.
+func (ni *NI) TriggeredPut(md Handle, ack AckRequest, target ProcessID,
+	ptl PtlIndex, cookie ACIndex, bits MatchBits, offset uint64,
+	ct Handle, threshold uint64) error {
+	if ni.closed.Load() {
+		return ErrClosed
+	}
+	if err := ni.state.TriggeredPut(md, ack, target, ptl, cookie, bits, offset, ct, threshold); err != nil {
+		return err
+	}
+	// Late arming: if the counter had already crossed, the op fired on this
+	// goroutine and its outbound is waiting to be transmitted.
+	return ni.drainTriggered()
+}
+
+// TriggeredGet arms a get against ct at threshold (PtlTriggeredGet).
+func (ni *NI) TriggeredGet(md Handle, target ProcessID,
+	ptl PtlIndex, cookie ACIndex, bits MatchBits, offset uint64,
+	ct Handle, threshold uint64) error {
+	if ni.closed.Load() {
+		return ErrClosed
+	}
+	if err := ni.state.TriggeredGet(md, target, ptl, cookie, bits, offset, ct, threshold); err != nil {
+		return err
+	}
+	return ni.drainTriggered()
+}
+
+// TriggeredCTInc arms a counter increment: when on's success count reaches
+// threshold, ct is incremented by inc (PtlTriggeredCTInc). This is the
+// chaining primitive — tree stages wire together through counters without
+// any host involvement.
+func (ni *NI) TriggeredCTInc(ct Handle, inc CTValue, on Handle, threshold uint64) error {
+	if ni.closed.Load() {
+		return ErrClosed
+	}
+	if err := ni.state.TriggeredCTInc(ct, inc, on, threshold); err != nil {
+		return err
+	}
+	return ni.drainTriggered()
+}
+
+// drainTriggered transmits triggered operations that fired on this
+// application goroutine — late arming against an already-crossed counter,
+// or an app-side CTInc/CTSet crossing a threshold. Lane-side fires never
+// come through here; HandleIncomingInto drains them on the delivery path.
+func (ni *NI) drainTriggered() error {
+	out := ni.state.FireTriggered(nil)
+	var first error
+	for i := range out {
+		if err := ni.node.Send(out[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close releases the interface (PtlNIFini): the process stops receiving

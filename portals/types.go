@@ -42,6 +42,8 @@ type (
 	DropReason = types.DropReason
 	// Stats is a snapshot of interface counters (NIStatus).
 	Stats = stats.Snapshot
+	// CTValue is a counting event's (success, failure) pair.
+	CTValue = types.CTValue
 )
 
 // Re-exported constants; see internal/types for semantics.
@@ -56,6 +58,15 @@ const (
 	MDManageRemote      = types.MDManageRemote
 	MDAckDisable        = types.MDAckDisable
 	MDEventStartDisable = types.MDEventStartDisable
+
+	// Counting-event routing: which completions increment the MD's CT.
+	MDCTPut      = types.MDCTPut
+	MDCTGet      = types.MDCTGet
+	MDCTAck      = types.MDCTAck
+	MDCTReply    = types.MDCTReply
+	MDCTSend     = types.MDCTSend
+	MDCTBytes    = types.MDCTBytes
+	MDAccumulate = types.MDAccumulate
 
 	ThresholdInfinite = types.ThresholdInfinite
 
@@ -96,6 +107,8 @@ var (
 	ErrMDInUse         = types.ErrMDInUse
 	ErrProcessNotFound = types.ErrProcessNotFound
 	ErrClosed          = types.ErrClosed
+	ErrTimeout         = types.ErrTimeout
+	ErrCTFailure       = types.ErrCTFailure
 )
 
 // InvalidHandle is the "no object" handle (no event queue, no ack MD).

@@ -100,6 +100,31 @@ func TestCmdBypass(t *testing.T) {
 	}
 }
 
+func TestCmdCollbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 120*time.Second, "./cmd/collbench",
+		"-procs", "2,4", "-burns", "0,1ms", "-iters", "2")
+	if !strings.Contains(out, "offloaded/op") || !strings.Contains(out, "allreduce") {
+		t.Errorf("collbench output:\n%s", out)
+	}
+}
+
+// TestCmdCollbenchUDP pushes the triggered chains through the real-socket
+// datagram transport: the counting events and armed operations must
+// behave identically when delivery rides kernel UDP + rtscts reliability.
+func TestCmdCollbenchUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in -short")
+	}
+	out := goRun(t, 180*time.Second, "./cmd/collbench",
+		"-transport", "udp", "-procs", "2,4", "-burns", "1ms", "-iters", "2")
+	if !strings.Contains(out, "transport=udp") || !strings.Contains(out, "allreduce") {
+		t.Errorf("collbench -transport udp output:\n%s", out)
+	}
+}
+
 func TestCmdPingpong(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests skipped in -short")
