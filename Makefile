@@ -12,24 +12,28 @@ build:
 
 # lint runs portalsvet, the repo's own static-analysis suite (docs/LINT.md):
 # application-bypass, lock-discipline, lock-order, zero-alloc, atomics-only,
-# checked-error, goroutine-lifecycle, guarded-by, mixed-atomic, seqlock, and
-# stale-suppression invariants. Only findings not in the checked-in baseline
-# fail the run.
+# checked-error, goroutine-lifecycle, guarded-by, mixed-atomic, seqlock,
+# ownership-lifetime, and stale-suppression invariants. Only findings not in
+# the checked-in baseline fail the run. LINTCACHE persists the stdlib
+# importer's export-data index across runs (~10x faster warm starts, see
+# docs/LINT.md); set LINTCACHE= to force the source importer.
+LINTCACHE ?= .portalsvet-cache
+LINTFLAGS = $(if $(LINTCACHE),-importer-cache $(LINTCACHE))
 lint:
-	$(GO) run ./cmd/portalsvet -baseline lint/baseline.json ./...
+	$(GO) run ./cmd/portalsvet $(LINTFLAGS) -baseline lint/baseline.json ./...
 
 # lint-sarif is the same gate, additionally writing a SARIF 2.1.0 report
 # (portalsvet.sarif) for GitHub code scanning or any SARIF viewer. New
 # findings are "error"-level results, accepted baseline ones "warning".
 lint-sarif:
-	$(GO) run ./cmd/portalsvet -baseline lint/baseline.json -sarif -o portalsvet.sarif ./...
+	$(GO) run ./cmd/portalsvet $(LINTFLAGS) -baseline lint/baseline.json -sarif -o portalsvet.sarif ./...
 	@echo "wrote portalsvet.sarif"
 
 # lint-baseline re-records the accepted findings. Use it when adopting a
 # check over code that cannot be fixed or suppressed right away; review the
 # lint/baseline.json diff like any other change.
 lint-baseline:
-	$(GO) run ./cmd/portalsvet -write-baseline lint/baseline.json ./...
+	$(GO) run ./cmd/portalsvet $(LINTFLAGS) -write-baseline lint/baseline.json ./...
 
 test:
 	$(GO) test ./...
@@ -51,7 +55,7 @@ BENCHCPUS ?= 1,4
 BENCHMIN ?= 1
 BENCHLABEL ?=
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
+	$(GO) test -bench=. -benchmem -run=NONE -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats ./internal/lint | \
 		$(GO) run ./cmd/benchjson -o BENCH_baseline.json -min-results $(BENCHMIN) $(if $(BENCHLABEL),-label $(BENCHLABEL))
 	@echo "wrote BENCH_baseline.json"
 
@@ -60,8 +64,8 @@ bench:
 # the target — followed by the bench-diff regression gate when a baseline
 # artifact exists.
 bench-smoke:
-	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady|CollOffload|CTIncrement' \
-		-benchtime=1x -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats | \
+	$(GO) test -run=NONE -bench='TranslateExact|Translate|DeliveryLanes|TraceRecord|CountersParallel|SwarmSteady|CollOffload|CTIncrement|PortalsvetLoad' \
+		-benchtime=1x -cpu=$(BENCHCPUS) -json . ./internal/obs/trace ./internal/stats ./internal/lint | \
 		$(GO) run ./cmd/benchjson -label ci-smoke -min-results 20
 	@if [ -f BENCH_baseline.json ]; then $(MAKE) bench-diff; else echo "no BENCH_baseline.json; skipping bench-diff"; fi
 
@@ -69,15 +73,16 @@ bench-smoke:
 # BENCHTHRESHOLD vs the checked-in BENCH_baseline.json. The gated subset
 # is the stable ~20-100ns-scale microbenchmarks (match-list translation,
 # iovec scatter, counting-event increment — the per-message fast paths
-# this repo optimizes); sub-5ns
-# and multi-ms benchmarks are too noise-prone for a ratio gate. -count=3
-# feeds benchjson three runs per benchmark and Compare takes the best of
-# each: scheduler noise is one-sided, so the minimum is the honest
+# this repo optimizes) plus PortalsvetLoad, the analyzer's full-repo
+# wall time, so a slow check regresses the build like any hot path;
+# sub-5ns and multi-ms benchmarks are too noise-prone for a ratio gate.
+# -count=3 feeds benchjson three runs per benchmark and Compare takes the
+# best of each: scheduler noise is one-sided, so the minimum is the honest
 # estimate. Refresh the baseline with `make bench` when hardware changes.
 BENCHTHRESHOLD ?= 1.25
 bench-diff:
-	$(GO) test -run=NONE -bench='TranslateExact|TranslateDepth|IOVecScatter|CTIncrement' \
-		-benchtime=200ms -count=3 -cpu=1 -json . | \
+	$(GO) test -run=NONE -bench='TranslateExact|TranslateDepth|IOVecScatter|CTIncrement|PortalsvetLoad' \
+		-benchtime=200ms -count=3 -cpu=1 -json . ./internal/lint | \
 		$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -threshold $(BENCHTHRESHOLD) -min-results 10
 
 # trace-smoke exercises the observability subsystem end to end: a small

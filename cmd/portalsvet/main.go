@@ -25,6 +25,10 @@
 //	                      with -json
 //	-baseline file        accepted findings; exit 1 only on NEW findings
 //	-write-baseline file  record the current findings as the baseline
+//	-importer-cache dir   persist the stdlib importer's export-data index
+//	                      in dir (keyed by Go version); warm runs skip
+//	                      type-checking the standard library from source.
+//	                      Falls back to the source importer on any error.
 package main
 
 import (
@@ -45,11 +49,20 @@ func main() {
 	outFlag := flag.String("o", "", "with -json/-sarif: write findings to this file instead of stdout")
 	baselineFlag := flag.String("baseline", "", "baseline file of accepted findings; fail only on new ones")
 	writeBaselineFlag := flag.String("write-baseline", "", "record the current findings as the baseline and exit")
+	importerCacheFlag := flag.String("importer-cache", "", "directory for the persistent stdlib importer cache (docs/LINT.md)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [-json|-sarif [-o file]] [-baseline file | -write-baseline file] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: portalsvet [-checks a,b] [-list] [-json|-sarif [-o file]] [-baseline file | -write-baseline file] [-importer-cache dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *importerCacheFlag != "" {
+		// Best-effort: a missing go binary or pruned build cache degrades
+		// to the (slower, identical) source importer, never to a failure.
+		if err := lint.SetImporterCache(*importerCacheFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "portalsvet: importer cache disabled: %v\n", err)
+		}
+	}
 
 	if *jsonFlag && *sarifFlag {
 		fmt.Fprintln(os.Stderr, "portalsvet: -json and -sarif are mutually exclusive")

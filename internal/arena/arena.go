@@ -144,7 +144,11 @@ func (a *Arena[T]) reclaim() {
 // Get returns a zeroed entry. It first gives parked entries a chance to
 // recycle (every Get advances the reclamation machinery, so limbo drains
 // even under continuous reader load), then reuses a free slot when one is
-// available and grows the arena by one doubling chunk otherwise.
+// available and grows the arena by one doubling chunk otherwise. Every
+// entry handed out must come back through exactly one Put — the pairing
+// is machine-checked by portalsvet's ownership pass (docs/LINT.md):
+//
+//lint:resource Arena.Get -> Arena.Put
 func (a *Arena[T]) Get() *T {
 	a.mu.Lock()
 	defer a.mu.Unlock()

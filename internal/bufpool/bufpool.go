@@ -10,6 +10,11 @@
 // released is merely garbage-collected (a future pool miss, not a leak).
 // The contents of a fresh buffer are undefined — callers overwrite the
 // whole length they asked for.
+//
+// The one-owner contract is machine-checked by portalsvet's ownership
+// pass (docs/LINT.md):
+//
+//lint:resource bufpool.Get -> Buf.Release
 package bufpool
 
 import (

@@ -42,11 +42,11 @@ const ptlTrig portals.PtlIndex = 5
 // (ignore 0): arrivals are anonymous counter increments, so nothing
 // per-generation needs to ride in the bits.
 const (
-	mbBarUp  portals.MatchBits = 0x71 // barrier up-wave arrival
-	mbBarDn  portals.MatchBits = 0x72 // barrier down-wave release
-	mbArAcc  portals.MatchBits = 0x73 // allreduce contribution (accumulating)
-	mbArRdy  portals.MatchBits = 0x74 // allreduce parent-ready credit
-	mbArDn   portals.MatchBits = 0x75 // allreduce down-wave result
+	mbBarUp   portals.MatchBits = 0x71 // barrier up-wave arrival
+	mbBarDn   portals.MatchBits = 0x72 // barrier down-wave release
+	mbArAcc   portals.MatchBits = 0x73 // allreduce contribution (accumulating)
+	mbArRdy   portals.MatchBits = 0x74 // allreduce parent-ready credit
+	mbArDn    portals.MatchBits = 0x75 // allreduce down-wave result
 	mbBcData  portals.MatchBits = 0x76 // broadcast payload
 	mbBcCred0 portals.MatchBits = 0x77 // broadcast subtree-released credit, first child
 	mbBcCred1 portals.MatchBits = 0x78 // broadcast subtree-released credit, second child
@@ -55,7 +55,9 @@ const (
 // TGroup is one member's endpoint of a triggered (NIC-offloaded)
 // collective group. Calls must come from a single goroutine, in the same
 // order on every member; at most one operation of each class may be
-// outstanding (Start without its Wait) at a time.
+// outstanding (Start without its Wait) at a time. The single-goroutine
+// contract is machine-checked: the mutable progress fields below are
+// //lint:guardedby confined (docs/LINT.md).
 type TGroup struct {
 	ni       *portals.NI
 	rank     int
@@ -83,14 +85,14 @@ type TGroup struct {
 	ctBc, ctBSent portals.Handle
 	ctCred        [2]portals.Handle
 
-	genBar, genAr, genBc uint64 // completed generations (next is +1)
+	genBar, genAr, genBc uint64 //lint:guardedby confined  completed generations (next is +1)
 
 	arStage  []byte // 2 parity slots × 8·MaxVec: accumulating reduction
 	aDnStage []byte // 2 parity slots × 8·MaxVec: down-wave result
 	bcStage  []byte // 2 parity slots × MaxMsg: broadcast payload
 
-	arLen int // elements in the in-flight allreduce (Start..Wait)
-	bcLen int // bytes in the in-flight bcast
+	arLen int //lint:guardedby confined  elements in the in-flight allreduce (Start..Wait)
+	bcLen int //lint:guardedby confined  bytes in the in-flight bcast
 
 	// Timeout bounds every internal counter wait. Default 30s.
 	Timeout time.Duration

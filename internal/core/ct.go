@@ -24,7 +24,11 @@ package core
 //     State.trigPending, and HandleIncomingInto drains the stack AFTER the
 //     message's locks are released, still on the delivery-lane goroutine.
 //     That keeps firing inside the lanes (application bypass, §5.1) with
-//     no lock-order edges: ctr.mu is only ever the sole lock held.
+//     no lock-order edges: ctr.mu is only ever the sole lock held. That
+//     isolation is machine-checked — the declaration below makes any
+//     future edge into or out of ctr.mu a lockorder finding:
+//
+//lint:lockrank ctr.mu sole
 //   - Armed operations live on a threshold-sorted singly-linked list under
 //     ctr.mu (control-path lock: arming and firing only). fireCounter pops
 //     every op whose threshold the success count has reached, releasing

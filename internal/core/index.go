@@ -89,10 +89,12 @@ func classify(me *matchEntry) int {
 	}
 }
 
-// attach links me into the list and index. ref == nil means list head
-// (Before) or tail (After); otherwise the position is relative to ref.
-// Caller holds p.mu.
+// attach links me into the list and index, taking ownership: the match
+// list (and its index) own the entry until detach. ref == nil means list
+// head (Before) or tail (After); otherwise the position is relative to
+// ref. Caller holds p.mu.
 //
+//lint:consumes me
 //lint:requires mu/memDesc.owner
 func (p *portal) attach(me *matchEntry, ref *matchEntry, pos types.InsertPosition) {
 	var prev, next *matchEntry

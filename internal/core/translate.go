@@ -35,6 +35,8 @@ func (o *Outbound) Recycle() {
 // caller; nil when the message is plainly allocated. Afterwards Recycle is
 // a no-op and the new owner releases the buffer — this is how a delivery
 // engine hands a message to a transport.BufSender without a copy.
+//
+//lint:returns-owned
 func (o *Outbound) TakeBuf() *bufpool.Buf {
 	b := o.buf
 	o.buf = nil

@@ -80,13 +80,19 @@ func (p *Program) guardAnalysis() *guardResult {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
 					if d.Body != nil {
-						out = append(out, runGuardFunc(p, pkg, tbl, d.Body, guardEntry(p, pkg, tbl, d))...)
+						var recv *types.TypeName
+						if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+							if n := recvNamed(fn); n != nil {
+								recv = n.Origin().Obj()
+							}
+						}
+						out = append(out, runGuardFunc(p, pkg, tbl, d.Body, guardEntry(p, pkg, tbl, d), recv)...)
 					}
 				case *ast.GenDecl:
 					// Function literals in package-level var initializers.
 					ast.Inspect(d, func(n ast.Node) bool {
 						if lit, ok := n.(*ast.FuncLit); ok {
-							out = append(out, runGuardFunc(p, pkg, tbl, lit.Body, lockSet{})...)
+							out = append(out, runGuardFunc(p, pkg, tbl, lit.Body, lockSet{}, nil)...)
 							return false
 						}
 						return true
@@ -124,10 +130,11 @@ func guardEntry(p *Program, pkg *Package, tbl *guardTables, fn *ast.FuncDecl) lo
 // function literals. The flow treats literals as opaque, so each literal
 // body is a separate pass: synchronous closures (sort.Search comparators,
 // callbacks invoked under the caller's locks) inherit the enclosing
-// //lint:requires grants, while go-launched literals start with nothing —
-// the goroutine outlives whatever its creator held.
-func runGuardFunc(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStmt, entry lockSet) []Diagnostic {
-	out := runGuardPass(p, pkg, tbl, body, entry)
+// //lint:requires grants and confinement rights (recv, the receiver's
+// type for confined-field access), while go-launched literals start with
+// neither — the goroutine outlives whatever its creator held.
+func runGuardFunc(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStmt, entry lockSet, recv *types.TypeName) []Diagnostic {
+	out := runGuardPass(p, pkg, tbl, body, entry, recv)
 	goLits := make(map[*ast.FuncLit]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
@@ -147,19 +154,23 @@ func runGuardFunc(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStm
 	})
 	for _, lit := range lits {
 		sub := lockSet{}
-		if !goLits[lit] {
+		subRecv := recv
+		if goLits[lit] {
+			subRecv = nil
+		} else {
 			sub = entry.clone()
 		}
-		out = append(out, runGuardFunc(p, pkg, tbl, lit.Body, sub)...)
+		out = append(out, runGuardFunc(p, pkg, tbl, lit.Body, sub, subRecv)...)
 	}
 	return out
 }
 
-func runGuardPass(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStmt, entry lockSet) []Diagnostic {
+func runGuardPass(p *Program, pkg *Package, tbl *guardTables, body *ast.BlockStmt, entry lockSet, recv *types.TypeName) []Diagnostic {
 	g := &guardPass{
 		prog:       p,
 		pkg:        pkg,
 		tbl:        tbl,
+		recv:       recv,
 		fresh:      collectFresh(pkg, body),
 		write:      make(map[ast.Expr]bool),
 		sanctioned: make(map[ast.Expr]bool),
@@ -182,6 +193,7 @@ type guardPass struct {
 	prog *Program
 	pkg  *Package
 	tbl  *guardTables
+	recv *types.TypeName // receiver type of the enclosing method, for "confined"
 
 	fresh      map[types.Object]bool // locals bound to unpublished objects
 	write      map[ast.Expr]bool     // selector nodes in write position
@@ -266,6 +278,20 @@ func (g *guardPass) access(sel *ast.SelectorExpr, st lockSet) {
 }
 
 func (g *guardPass) checkGuarded(sel *ast.SelectorExpr, obj *types.Var, fg *fieldGuard, st lockSet, write bool) {
+	if fg.confined {
+		// Confined guard: the access is inside a method of the declaring
+		// type (or a synchronous closure within one — go-launched literals
+		// had recv stripped by runGuardFunc).
+		if g.recv != nil && g.recv.Name() == fg.owner && g.recv.Pkg() == obj.Pkg() {
+			return
+		}
+		if len(fg.classes) == 0 && !fg.atomic {
+			g.reportf("guardedby", sel.Pos(),
+				"field %s.%s (//lint:guardedby confined) accessed outside %s's single-goroutine methods",
+				fg.owner, obj.Name(), fg.owner)
+			return
+		}
+	}
 	if fg.atomic {
 		// Atomic guard: access through sync/atomic free functions, or any
 		// operation on a field whose own type is a sync/atomic composite.

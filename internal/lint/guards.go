@@ -14,12 +14,17 @@ import (
 //	//lint:requires <class>[,<class>...]    on a function or method
 //	//lint:seqlock <stampField>             on a slot struct type
 //
-// A guard is either the keyword "atomic" (the field is only touched through
-// sync/atomic), the name of a sibling mutex field ("mu", "owner" — classed
-// as "Struct.field" exactly like lockClassOf), or a dotted lock class owned
-// by another struct ("portal.mu", "State.resMu"). Alternatives are
-// satisfied if ANY of them holds: memDesc fields are guarded by whichever
-// lock owner aliases.
+// A guard is the keyword "atomic" (the field is only touched through
+// sync/atomic), the keyword "confined" (the field belongs to a documented
+// single-goroutine type: it may only be touched from the declaring type's
+// own methods, and never from a go-launched function literal), the name of
+// a sibling mutex field ("mu", "owner" — classed as "Struct.field" exactly
+// like lockClassOf), or a dotted lock class owned by another struct
+// ("portal.mu", "State.resMu"). Alternatives are satisfied if ANY of them
+// holds: memDesc fields are guarded by whichever lock owner aliases.
+// Synchronous function literals inside a method inherit its confinement
+// rights, exactly as they inherit //lint:requires lock grants; literals
+// launched with `go` inherit neither (the goroutine outlives the call).
 //
 // //lint:requires seeds the annotated function's entry lock state with the
 // named classes: the function documents that its callers hold those locks,
@@ -55,17 +60,21 @@ type guardKey struct {
 
 // fieldGuard is one parsed //lint:guardedby annotation.
 type fieldGuard struct {
-	owner   string   // declaring struct name, for messages
-	field   string   // field name
-	classes []string // lock-class alternatives ("Queue.mu", "portal.mu")
-	atomic  bool     // the "atomic" guard was listed
-	pos     token.Pos
+	owner    string   // declaring struct name, for messages
+	field    string   // field name
+	classes  []string // lock-class alternatives ("Queue.mu", "portal.mu")
+	atomic   bool     // the "atomic" guard was listed
+	confined bool     // the "confined" guard was listed
+	pos      token.Pos
 }
 
 func (g *fieldGuard) String() string {
-	all := g.classes
+	all := append([]string{}, g.classes...)
 	if g.atomic {
-		all = append(append([]string{}, g.classes...), "atomic")
+		all = append(all, "atomic")
+	}
+	if g.confined {
+		all = append(all, "confined")
 	}
 	return strings.Join(all, "/")
 }
@@ -253,6 +262,8 @@ func (t *guardTables) collectGuardedBy(p *Program, pkg *Package, ts *ast.TypeSpe
 		switch {
 		case guard == "atomic":
 			g.atomic = true
+		case guard == "confined":
+			g.confined = true
 		case guard == "":
 			bad("malformed //lint:guardedby directive: empty guard name")
 			return

@@ -1,0 +1,184 @@
+package lint
+
+// Persistent stdlib importer cache. The default source importer
+// type-checks every standard-library package from source — hundreds of
+// packages transitively behind fmt/net, tens of milliseconds each — on
+// every cold portalsvet run. The toolchain already holds compiled export
+// data for exactly these packages in its build cache; this file indexes
+// it once (`go list -export std`) into a small file keyed by Go version
+// and platform, and installs a gc-importer that reads binary export data
+// in microseconds instead. docs/LINT.md records the measured speedup.
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// exportIndex maps stdlib import paths to their compiled export-data
+// files inside the toolchain's build cache.
+type exportIndex map[string]string
+
+// indexKey distinguishes incompatible export data: a toolchain upgrade or
+// cross-platform cache directory must rebuild, never misread.
+func indexKey() string {
+	return fmt.Sprintf("%s-%s-%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// SetImporterCache switches the shared stdlib importer to compiled export
+// data, indexed in dir (created if missing). The index is rebuilt when
+// absent, when written by a different toolchain, or when its entries have
+// been pruned from the build cache. On any error the caller should fall
+// back to the default source importer — the analysis is identical, only
+// slower.
+func SetImporterCache(dir string) error {
+	idx, err := loadOrBuildIndex(dir)
+	if err != nil {
+		return err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := idx[path]
+		if !ok {
+			return nil, fmt.Errorf("importer cache: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	stdImports.mu.Lock()
+	defer stdImports.mu.Unlock()
+	// Like the source importer in load.go, the gc importer gets its own
+	// FileSet: stdlib positions never appear in diagnostics.
+	stdImports.imp = importer.ForCompiler(token.NewFileSet(), "gc", lookup)
+	return nil
+}
+
+// ResetImporterCache restores the default (source) stdlib importer; used
+// by tests so a cache installed under one t.TempDir cannot leak into the
+// rest of the suite.
+func ResetImporterCache() {
+	stdImports.mu.Lock()
+	defer stdImports.mu.Unlock()
+	stdImports.imp = nil
+}
+
+// indexFile is the on-disk index path for the current toolchain.
+func indexFile(dir string) string {
+	return filepath.Join(dir, "stdexport-"+indexKey()+".tsv")
+}
+
+// loadOrBuildIndex returns a valid export index for the current
+// toolchain, reading the persisted one when it is still usable and
+// rebuilding it otherwise.
+func loadOrBuildIndex(dir string) (exportIndex, error) {
+	file := indexFile(dir)
+	if idx, err := readIndex(file); err == nil && indexValid(idx) {
+		return idx, nil
+	}
+	idx, err := buildIndex()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeIndex(file, idx); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// indexValid spot-checks that the indexed export files still exist — the
+// go build cache is pruned independently of ours, and a stale index must
+// trigger a rebuild rather than import failures mid-analysis.
+func indexValid(idx exportIndex) bool {
+	for _, probe := range []string{"fmt", "sync", "go/types"} {
+		file, ok := idx[probe]
+		if !ok {
+			return false
+		}
+		if _, err := os.Stat(file); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// buildIndex asks the toolchain for every stdlib package's export data.
+// `go list -export` compiles (or reuses) export data in the build cache
+// and prints where it landed — the one cold step warm runs skip.
+func buildIndex() (exportIndex, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "std")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("go list -export std: %v: %s", err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list -export std: %v", err)
+	}
+	idx := make(exportIndex)
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || path == "" || file == "" {
+			continue // packages without export data (empty Export field)
+		}
+		idx[path] = file
+	}
+	if !indexValid(idx) {
+		return nil, fmt.Errorf("go list -export std: export data incomplete (%d packages)", len(idx))
+	}
+	return idx, nil
+}
+
+func readIndex(file string) (exportIndex, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(exportIndex)
+	for _, line := range strings.Split(string(data), "\n") {
+		path, f, ok := strings.Cut(line, "\t")
+		if ok && path != "" && f != "" {
+			idx[path] = f
+		}
+	}
+	return idx, nil
+}
+
+// writeIndex persists the index atomically (temp file + rename), so a
+// crashed run can never leave a half-written index for the next one.
+func writeIndex(file string, idx exportIndex) error {
+	if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	paths := make([]string, 0, len(idx))
+	for path := range idx {
+		paths = append(paths, path)
+	}
+	// Sorted for reproducible files (and readable diffs when debugging).
+	sort.Strings(paths)
+	for _, path := range paths {
+		sb.WriteString(path)
+		sb.WriteByte('\t')
+		sb.WriteString(idx[path])
+		sb.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), ".stdexport-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.WriteString(sb.String()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, file)
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureUsingStdlib type-checks a package whose imports force real stdlib
+// resolution through whatever importer is currently installed.
+func fixtureUsingStdlib(t *testing.T) {
+	t.Helper()
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/x": {"x.go": `package x
+
+import (
+	"fmt"
+	"sync"
+)
+
+func F() string {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return fmt.Sprintf("%d", 42)
+}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	if diags := prog.Run(AllChecks()); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+// TestImporterCache exercises the full cold -> warm -> stale cycle of the
+// persistent stdlib importer cache and checks the gc importer type-checks
+// the same fixtures the source importer does.
+func TestImporterCache(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary not on PATH; importer cache requires the toolchain")
+	}
+	dir := t.TempDir()
+	defer ResetImporterCache()
+
+	// Cold: builds the index from `go list -export std`.
+	if err := SetImporterCache(dir); err != nil {
+		t.Fatalf("SetImporterCache (cold): %v", err)
+	}
+	file := indexFile(dir)
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("index file not written: %v", err)
+	}
+	fixtureUsingStdlib(t)
+
+	// Warm: the persisted index must load and validate without a rebuild.
+	before, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetImporterCache(dir); err != nil {
+		t.Fatalf("SetImporterCache (warm): %v", err)
+	}
+	after, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("warm SetImporterCache rewrote the index")
+	}
+	fixtureUsingStdlib(t)
+
+	// Stale: entries pointing at pruned build-cache files must force a
+	// rebuild, not import failures mid-analysis.
+	if err := os.WriteFile(file, []byte("fmt\t"+filepath.Join(dir, "gone.a")+"\nsync\t"+filepath.Join(dir, "gone.a")+"\ngo/types\t"+filepath.Join(dir, "gone.a")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetImporterCache(dir); err != nil {
+		t.Fatalf("SetImporterCache (stale rebuild): %v", err)
+	}
+	idx, err := readIndex(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexValid(idx) {
+		t.Fatalf("rebuilt index is not valid")
+	}
+	fixtureUsingStdlib(t)
+}

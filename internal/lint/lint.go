@@ -34,6 +34,13 @@
 //   - seqlock: fields of a `//lint:seqlock stamp` ring slot are only
 //     written inside an open (odd) stamp window and only read under
 //     stamp validation — the eventq / obs/trace publication protocol.
+//   - ownleak / ownuseafter / owndouble / ownescape: paired-resource
+//     protocols declared `//lint:resource Acquire -> Release` (pooled
+//     buffers, RCU pins, arena entries) follow an exactly-one-owner
+//     lifecycle — released or ownership-transferred on every path, never
+//     used after release or transfer, never released twice, with
+//     `//lint:consumes` / `//lint:returns-owned` annotations making
+//     handoff points part of the checked contract (ownership.go).
 //   - staleignore: a `//lint:ignore` directive whose named check never
 //     fires on its line is itself reported (deletable only; staleignore
 //     cannot be suppressed).
@@ -101,6 +108,10 @@ func AllChecks() []Check {
 		guardedByCheck{},
 		mixedAtomicCheck{},
 		seqlockCheck{},
+		ownLeakCheck{},
+		ownUseAfterCheck{},
+		ownDoubleCheck{},
+		ownEscapeCheck{},
 		staleIgnoreCheck{},
 	}
 }
@@ -129,6 +140,7 @@ type Program struct {
 	funcs    map[*types.Func]*funcSource
 	eng      *engine
 	guardRes *guardResult
+	ownRes   *ownResult
 }
 
 // funcSource is the body of a module function, for call-graph traversal.

@@ -818,6 +818,87 @@ func f() {}
 	}
 }
 
+// TestLockRankSole covers `//lint:lockrank C sole`: a class that may only
+// ever be the sole lock held, so edges in either direction are findings
+// and the class may not appear in `A < B` ordering declarations.
+func TestLockRankSole(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/sl": {"sl.go": `package sl
+
+import "sync"
+
+//lint:lockrank ctr.mu sole
+//lint:lockrank other.mu < third.mu
+
+type ctr struct{ mu sync.Mutex }
+type other struct{ mu sync.Mutex }
+type third struct{ mu sync.Mutex }
+
+// ok: alone is exactly what sole demands.
+func ok(c *ctr) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func declaredPair(o *other, t3 *third) {
+	o.mu.Lock()
+	t3.mu.Lock()
+	t3.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// fromSole: acquiring anything while holding the sole class.
+func fromSole(c *ctr, o *other) {
+	c.mu.Lock()
+	o.mu.Lock() // want:lockorder
+	o.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// intoSole: acquiring the sole class while holding anything.
+func intoSole(o *other, c *ctr) {
+	o.mu.Lock()
+	c.mu.Lock() // want:lockorder
+	c.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func suppressed(o *other, c *ctr) {
+	o.mu.Lock()
+	//lint:ignore lockorder fixture: intentional edge into a sole class
+	c.mu.Lock()
+	c.mu.Unlock()
+	o.mu.Unlock()
+}
+`},
+	}, []Check{lockOrderCheck{}})
+}
+
+// TestLockRankSoleInOrdering: a sole class may not appear on either side
+// of an `A < B` declaration.
+func TestLockRankSoleInOrdering(t *testing.T) {
+	prog, err := LoadSource("repro", map[string]map[string]string{
+		"repro/sd": {"sd.go": `package sd
+
+//lint:lockrank aa.mu sole
+
+//lint:lockrank aa.mu < bb.mu
+
+func f() {}
+`},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	diags := prog.Run([]Check{lockOrderCheck{}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "may not participate in ordering edges") {
+		t.Fatalf("want one sole-in-ordering finding, got %v", diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("finding at line %d, want 5 (the ordering declaration)", diags[0].Pos.Line)
+	}
+}
+
 func TestLockOrderDeclarationCycle(t *testing.T) {
 	prog, err := LoadSource("repro", map[string]map[string]string{
 		"repro/lc": {"lc.go": `package lc
@@ -1203,6 +1284,57 @@ func escape(l *L) {
 	}, []Check{guardedByCheck{}})
 }
 
+// TestGuardedByConfined covers `//lint:guardedby confined`: the field is
+// only touchable from the declaring type's own methods (single-goroutine
+// confinement). Synchronous closures inherit the receiver; go-launched
+// literals and other functions do not.
+func TestGuardedByConfined(t *testing.T) {
+	runFixture(t, map[string]map[string]string{
+		"repro/cf": {"cf.go": `package cf
+
+type PE struct {
+	n int         //lint:guardedby confined
+	m map[int]int //lint:guardedby confined
+}
+
+func (p *PE) step() {
+	p.n++
+	p.m[p.n] = 1
+	f := func() { p.n++ } // synchronous literal inherits the receiver
+	f()
+}
+
+func (p *PE) escape() {
+	go func() {
+		p.n++ // want:guardedby
+	}()
+}
+
+func outside(p *PE) {
+	p.n++ // want:guardedby
+}
+
+type Other struct{}
+
+func (o *Other) poke(p *PE) {
+	p.n++ // want:guardedby
+}
+
+// NewPE initializes fields on a fresh, unpublished object: exempt.
+func NewPE() *PE {
+	p := &PE{m: map[int]int{}}
+	p.n = 1
+	return p
+}
+
+func hushed(p *PE) {
+	//lint:ignore guardedby fixture: caller runs on the owning goroutine
+	p.n = 3
+}
+`},
+	}, []Check{guardedByCheck{}})
+}
+
 func TestSeqlock(t *testing.T) {
 	runFixture(t, map[string]map[string]string{
 		"repro/sq": {"sq.go": `package sq
@@ -1433,6 +1565,7 @@ func TestSARIFMarshal(t *testing.T) {
 		{File: "internal/core/state.go", Line: 12, Check: "guardedby", Message: "field accessed without mu held", New: true},
 		{File: "internal/eventq/eventq.go", Line: 40, Check: "seqlock", Message: "write outside window"},
 		{File: "x.go", Line: 1, Check: "novelcheck", Message: "from a future version"},
+		{File: "internal/bufpool/bufpool.go", Line: 7, Check: "ownleak", Message: "bufpool.Get result leaks", New: true},
 	}
 	data, err := MarshalSARIF(findings)
 	if err != nil {
@@ -1484,13 +1617,17 @@ func TestSARIFMarshal(t *testing.T) {
 	for i, r := range run.Tool.Driver.Rules {
 		ruleIDs[r.ID] = i
 	}
-	for _, want := range []string{"guardedby", "mixedatomic", "seqlock", "staleignore", "badsuppress", "novelcheck"} {
+	for _, want := range []string{"guardedby", "mixedatomic", "seqlock", "staleignore", "badsuppress", "novelcheck",
+		"ownleak", "ownuseafter", "owndouble", "ownescape"} {
 		if _, ok := ruleIDs[want]; !ok {
 			t.Errorf("rules missing %q", want)
 		}
 	}
-	if len(run.Results) != 3 {
-		t.Fatalf("want 3 results, got %d", len(run.Results))
+	if len(run.Results) != 4 {
+		t.Fatalf("want 4 results, got %d", len(run.Results))
+	}
+	if r := run.Results[3]; r.Level != "error" || r.RuleID != "ownleak" {
+		t.Errorf("ownership finding rendered wrong: %+v", r)
 	}
 	if r := run.Results[0]; r.Level != "error" || r.RuleID != "guardedby" ||
 		r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/core/state.go" ||

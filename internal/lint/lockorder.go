@@ -31,6 +31,16 @@ import (
 //
 // The declarations themselves must form a DAG; a cycle among them is
 // reported at the offending directive.
+//
+// A class can also be declared
+//
+//	//lint:lockrank C sole
+//
+// meaning "C is only ever the sole lock held": every edge into or out of
+// C is an error, and no `A < B` declaration may name C. This is how
+// deliberately edge-free locks (core's ctr.mu, whose firing protocol
+// releases it around every execution) pin their isolation in the
+// hierarchy instead of merely having no declared edges yet.
 type lockOrderCheck struct{}
 
 func (lockOrderCheck) Name() string { return "lockorder" }
@@ -48,13 +58,22 @@ type rankDecl struct {
 
 func (lockOrderCheck) Run(p *Program) []Diagnostic {
 	var diags []Diagnostic
-	decls, bad := parseLockRanks(p)
+	decls, sole, bad := parseLockRanks(p)
 	diags = append(diags, bad...)
 
-	// Build the declared DAG and verify acyclicity.
+	// Build the declared DAG and verify acyclicity. Sole classes may not
+	// appear in ordering declarations at all.
 	adj := make(map[string][]string)
 	declPos := make(map[[2]string]token.Pos)
 	for _, d := range decls {
+		if _, isSole := sole[d.from]; isSole {
+			diags = append(diags, soleDeclDiag(p, d.pos, d.from))
+			continue
+		}
+		if _, isSole := sole[d.to]; isSole {
+			diags = append(diags, soleDeclDiag(p, d.pos, d.to))
+			continue
+		}
 		key := [2]string{d.from, d.to}
 		if _, dup := declPos[key]; !dup {
 			declPos[key] = d.pos
@@ -96,7 +115,15 @@ func (lockOrderCheck) Run(p *Program) []Diagnostic {
 			via = " (via call to " + e.via + ")"
 		}
 		var msg string
+		_, fromSole := sole[e.from]
+		_, toSole := sole[e.to]
 		switch {
+		case fromSole:
+			msg = e.to + " acquired" + via + " while holding " + e.from +
+				", which is declared `//lint:lockrank " + e.from + " sole`: it must only ever be the sole lock held"
+		case toSole:
+			msg = e.to + " acquired" + via + " while holding " + e.from +
+				", but " + e.to + " is declared `//lint:lockrank " + e.to + " sole`: it must only ever be the sole lock held"
 		case e.from == e.to:
 			msg = "acquires " + e.to + via + " while another " + e.from +
 				" is already held: the hierarchy forbids two locks of the same rank (docs/PERF.md §2)"
@@ -118,15 +145,26 @@ func (lockOrderCheck) Run(p *Program) []Diagnostic {
 	return diags
 }
 
-// parseLockRanks scans every loaded file for //lint:lockrank directives.
+func soleDeclDiag(p *Program, pos token.Pos, class string) Diagnostic {
+	return Diagnostic{
+		Pos:   p.Fset.Position(pos),
+		Check: "lockorder",
+		Message: "lockrank declaration names " + class +
+			", which is declared `//lint:lockrank " + class + " sole` and may not participate in ordering edges",
+	}
+}
+
+// parseLockRanks scans every loaded file for //lint:lockrank directives —
+// both `A < B` ordering edges and `C sole` isolation declarations.
 // Declarations anywhere in the module apply globally; malformed
 // directives are reported only for the packages under analysis.
-func parseLockRanks(p *Program) ([]rankDecl, []Diagnostic) {
+func parseLockRanks(p *Program) ([]rankDecl, map[string]token.Pos, []Diagnostic) {
 	analyzed := make(map[*Package]bool, len(p.Packages))
 	for _, pkg := range p.Packages {
 		analyzed[pkg] = true
 	}
 	var decls []rankDecl
+	sole := make(map[string]token.Pos)
 	var bad []Diagnostic
 	paths := make([]string, 0, len(p.All))
 	for path := range p.All {
@@ -143,12 +181,18 @@ func parseLockRanks(p *Program) ([]rankDecl, []Diagnostic) {
 						continue
 					}
 					fields := strings.Fields(rest)
+					if len(fields) == 2 && fields[1] == "sole" {
+						if _, dup := sole[fields[0]]; !dup {
+							sole[fields[0]] = c.Pos()
+						}
+						continue
+					}
 					if len(fields) != 3 || fields[1] != "<" || fields[0] == fields[2] {
 						if analyzed[pkg] {
 							bad = append(bad, Diagnostic{
 								Pos:     p.Fset.Position(c.Pos()),
 								Check:   "lockorder",
-								Message: "malformed //lint:lockrank directive: want \"//lint:lockrank name < name\" with two distinct classes",
+								Message: "malformed //lint:lockrank directive: want \"//lint:lockrank name < name\" or \"//lint:lockrank name sole\"",
 							})
 						}
 						continue
@@ -158,7 +202,7 @@ func parseLockRanks(p *Program) ([]rankDecl, []Diagnostic) {
 			}
 		}
 	}
-	return decls, bad
+	return decls, sole, bad
 }
 
 // rankCycles reports cycles among the declared ranks (DFS with colors).

@@ -288,6 +288,8 @@ var outScratch = sync.Pool{
 // zero-copy path), the message's pooled buffer is handed over; otherwise
 // the bytes are copied by the transport's Send and the buffer recycled
 // here. Either way the caller must not use or Recycle out afterwards.
+//
+//lint:consumes out
 func (n *Node) Send(out core.Outbound) error {
 	if n.bufSend != nil {
 		if b := out.TakeBuf(); b != nil {
@@ -354,8 +356,8 @@ func (n *Node) onMessage(src types.NID, msg []byte) {
 	}
 	b := bufpool.Get(len(msg))
 	copy(b.Bytes(), msg)
-	m.buf = b
 	m.payload = b.Bytes()[wire.HeaderSize : wire.HeaderSize+uint64(len(m.payload))]
+	m.buf = b // ownership moves to the lane message; the lane worker releases it
 	g := burstPool.Get().(*[]laneMsg)
 	*g = append(*g, m)
 	li := laneIndex(m.src, m.hdr.Target.PID, len(n.lanes))

@@ -410,7 +410,10 @@ type Guards struct {
 // Enter opens a read-side window and returns a token to pass to Exit.
 // hint spreads unrelated readers across stripes (any cheap value — an
 // initiator NID, a lane index); correctness needs only Enter/Exit pairing.
+// The pairing is machine-checked by portalsvet's ownership pass
+// (docs/LINT.md):
 //
+//lint:resource Guards.Enter -> Guards.Exit
 //lint:noalloc read-side guard entry runs per message on the delivery path
 func (g *Guards) Enter(hint uint64) int {
 	e := int(g.epoch.Load() & 1)

@@ -368,6 +368,8 @@ func (c *Conn) receiver(src types.NID) *peerReceiver {
 // deliver dispatches one completed application message: batch mode
 // accumulates it for Flush (ownership moves into pending), handler mode
 // invokes the handler and recycles the pooled buffer.
+//
+//lint:consumes buf
 func (c *Conn) deliver(src types.NID, msg []byte, buf *bufpool.Buf) {
 	c.stats.MsgsDelivered.Add(1)
 	if c.bh != nil {

@@ -22,15 +22,18 @@ import (
 // ptlShmem is the portal table index the layer claims.
 const ptlShmem portals.PtlIndex = 3
 
-// PE is one process's endpoint of a symmetric job.
+// PE is one process's endpoint of a symmetric job. A PE's methods must be
+// called from a single goroutine (one PE is one processing element); the
+// mutable fields are //lint:guardedby confined to machine-check that
+// contract (docs/LINT.md).
 type PE struct {
 	ni      *portals.NI
 	rank    int
 	ids     []portals.ProcessID
 	eq      portals.Handle
-	inEQ    portals.Handle // events for operations landing in exposed regions
-	nbOut   int            // outstanding non-blocking operations
-	arrived map[portals.MatchBits]int
+	inEQ    portals.Handle            // events for operations landing in exposed regions
+	nbOut   int                       //lint:guardedby confined  outstanding non-blocking operations
+	arrived map[portals.MatchBits]int //lint:guardedby confined  buffered put arrivals per region
 
 	// FenceTimeout bounds how long Fence waits for outstanding
 	// acknowledgments (a put to an unexposed region is silently dropped

@@ -171,6 +171,10 @@ func (ep *endpoint) enqueue(src types.NID, msg []byte) {
 }
 
 // enqueueBuf queues an owned buffer — the zero-copy path under SendBuf.
+// Ownership moves into the queue (or the buffer is released when the
+// endpoint is already closed).
+//
+//lint:consumes buf
 func (ep *endpoint) enqueueBuf(src types.NID, buf *bufpool.Buf) {
 	ep.mu.Lock()
 	if ep.closed {

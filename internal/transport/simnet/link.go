@@ -171,6 +171,8 @@ func (l *link) pace() {
 // transmit serializes one packet at the link bandwidth and hands it to the
 // delayer; a full wire buffer is a congestion drop, which releases the
 // packet here.
+//
+//lint:consumes p
 func (l *link) transmit(p *bufpool.Buf, lastEnd *time.Time, cfg Config) {
 	start := time.Now()
 	if start.Before(*lastEnd) {

@@ -54,6 +54,11 @@ type Endpoint interface {
 // what lets an in-process fabric move a message from initiator to delivery
 // engine with zero copies (docs/PERF.md §6).
 type BufSender interface {
+	// SendBuf consumes buf: implementations must release it or forward it
+	// as a Delivery's Buf on every path, and callers lose ownership at the
+	// call — both sides of the contract are machine-checked (docs/LINT.md).
+	//
+	//lint:consumes buf
 	SendBuf(dst types.NID, buf *bufpool.Buf) error
 }
 
@@ -93,6 +98,8 @@ func (d *Delivery) Release() {
 // Delivery's message is owned by the handler — see Delivery. Batches for
 // one endpoint are delivered serially and in order, so a BatchHandler sees
 // the same per-(source, destination) FIFO stream a Handler would.
+//
+//lint:consumes batch
 type BatchHandler func(batch []Delivery)
 
 // BatchNetwork is implemented by networks whose delivery goroutine can
